@@ -1,0 +1,63 @@
+// Section VII: TECO generality — LAMMPS-style 3-D Lennard-Jones melt.
+//
+// Two parts: (1) a REAL LJ melt (our MD engine) verifying the workload has
+// the required characteristics — iterative structure and low-byte position
+// updates; (2) the offload timeline: paper reports 27% communication share,
+// 21.5% improvement from TECO (78% CXL / 22% DBA) and 17% volume reduction.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "dl/byte_stats.hpp"
+#include "md/lj_system.hpp"
+#include "md/offload_md.hpp"
+#include "offload/calibration.hpp"
+
+int main() {
+  using namespace teco;
+
+  // Part 1: real physics, small box.
+  md::LjConfig cfg;
+  cfg.fcc_cells = 6;  // 864 atoms.
+  md::LjSystem sys(cfg);
+  const double e0 = sys.total_energy();
+  sys.run(50);
+  const auto pos_prev = sys.positions_f32();
+  const auto force_prev = sys.forces_f32();
+  sys.step();
+  const auto ps = dl::compare_arrays(pos_prev, sys.positions_f32());
+  const auto fs = dl::compare_arrays(force_prev, sys.forces_f32());
+  std::printf("LJ melt (864 atoms, rho=0.8442, T*=1.44): energy drift over "
+              "51 steps = %.3e (relative)\n",
+              std::abs(sys.total_energy() - e0) / std::abs(e0));
+  std::printf("Per-step byte changes: positions %.1f%% low-2-bytes / "
+              "forces %.1f%% -> DBA applies to positions only.\n\n",
+              100 * ps.frac_low2_covered(), 100 * fs.frac_low2_covered());
+
+  // Part 2: offload timeline at production scale.
+  const auto r = md::md_generality_report(md::MdWorkload{},
+                                          offload::default_calibration());
+  core::TextTable t("Section VII: LJ-melt offload timeline (4M atoms)");
+  t.set_header({"Mode", "force", "force xfer", "integrate", "pos xfer",
+                "total", "comm share"});
+  auto row = [&](const char* name, const md::MdStepBreakdown& b) {
+    t.add_row({name, core::TextTable::ms(b.force_compute),
+               core::TextTable::ms(b.force_xfer_exposed),
+               core::TextTable::ms(b.integrate),
+               core::TextTable::ms(b.pos_xfer_exposed),
+               core::TextTable::ms(b.total()),
+               core::TextTable::pct(b.comm_fraction())});
+  };
+  row("explicit copy", r.baseline);
+  row("TECO-CXL", r.cxl);
+  row("TECO-Reduction", r.reduction);
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::printf("\nImprovement: %.1f%% (paper: 21.5%%); volume reduction by "
+              "DBA: %.1f%% (paper: 17%%); contribution split CXL %.0f%% / "
+              "DBA %.0f%% (paper: 78%% / 22%%).\n",
+              100 * r.improvement, 100 * r.volume_reduction,
+              100 * r.cxl_contribution, 100 * r.dba_contribution);
+  std::printf("Baseline communication share: %.1f%% (paper: 27%%).\n",
+              100 * r.baseline.comm_fraction());
+  return 0;
+}

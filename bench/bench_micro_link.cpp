@@ -1,0 +1,205 @@
+// Substrate micro-benchmarks (google-benchmark): link serialization, DBA
+// pack/merge, coherence operations, LZ4 codec, cache and event-queue costs.
+// These quantify the cost of the simulation substrate itself, not the
+// modeled hardware.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compress/lz4.hpp"
+#include "coherence/giant_cache.hpp"
+#include "coherence/home_agent.hpp"
+#include "cxl/channel.hpp"
+#include "cxl/flit.hpp"
+#include "dba/aggregator.hpp"
+#include "dba/disaggregator.hpp"
+#include "dl/attention.hpp"
+#include "dl/fp16.hpp"
+#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace teco;
+
+void BM_ChannelSubmit(benchmark::State& state) {
+  cxl::Channel ch("bench", 15.1e9, sim::ns(400));
+  const auto pkt = cxl::data_packet(cxl::MessageType::kFlushData, 0, 64);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.submit(t, pkt));
+    t += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSubmit);
+
+void BM_ChannelSubmitStream(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto pkt = cxl::data_packet(cxl::MessageType::kFlushData, 0, 64);
+  for (auto _ : state) {
+    cxl::Channel ch("bench", 15.1e9, sim::ns(400));
+    benchmark::DoNotOptimize(ch.submit_stream(0.0, pkt, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelSubmitStream)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_AggregatorPack(benchmark::State& state) {
+  sim::Rng rng(1);
+  mem::BackingStore::Line line;
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.next_below(256));
+  dba::Aggregator agg(dba::DbaRegister(true, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.pack(line));
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AggregatorPack);
+
+void BM_DisaggregatorMerge(benchmark::State& state) {
+  sim::Rng rng(2);
+  mem::BackingStore::Line old_line, new_line;
+  for (auto& b : old_line) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& b : new_line) b = static_cast<std::uint8_t>(rng.next_below(256));
+  dba::Aggregator agg(dba::DbaRegister(true, 2));
+  dba::Disaggregator dis(dba::DbaRegister(true, 2));
+  const auto payload = agg.pack(new_line);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dis.merge(old_line, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DisaggregatorMerge);
+
+void BM_HomeAgentUpdatePush(benchmark::State& state) {
+  cxl::Link link;
+  coherence::GiantCache gc(1ull << 26);
+  gc.map_region("p", 0, 1ull << 24, coherence::MesiState::kExclusive, true);
+  mem::Cache cpu(mem::llc_config());
+  coherence::HomeAgent agent(link, gc, cpu, {});
+  std::uint64_t line = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.cpu_write_line(t, (line % (1 << 18)) * 64));
+    ++line;
+    t += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HomeAgentUpdatePush);
+
+void BM_CacheLookup(benchmark::State& state) {
+  mem::Cache c(mem::llc_config());
+  for (int i = 0; i < 4096; ++i) c.insert(i * 64, 1, false);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.lookup((i % 4096) * 64));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<double>(i % 37), [] {});
+    }
+    q.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_Lz4Compress(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<std::uint8_t> src(1 << 20);
+  std::size_t i = 0;
+  while (i < src.size()) {
+    if (rng.next_bool(0.3)) {
+      const std::size_t run = 16 + rng.next_below(128);
+      for (std::size_t k = 0; k < run && i < src.size(); ++k) src[i++] = 0;
+    } else {
+      src[i++] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::lz4_compress(src));
+  }
+  state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_Lz4Compress);
+
+void BM_Lz4Decompress(benchmark::State& state) {
+  sim::Rng rng(4);
+  std::vector<std::uint8_t> src(1 << 20);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(rng.next_below(8));
+  }
+  const auto packed = compress::lz4_compress(src);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::lz4_decompress(packed, src.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_Lz4Decompress);
+
+void BM_FlitPacking(benchmark::State& state) {
+  const cxl::FlitCodec codec;
+  std::uint64_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.wire_bytes_for_burst(n % 100'000 + 1, 64));
+    ++n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlitPacking);
+
+void BM_Fp16RoundArray(benchmark::State& state) {
+  sim::Rng rng(5);
+  std::vector<float> v(1 << 16);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  for (auto _ : state) {
+    dl::fp16_round_array(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetBytesProcessed(state.iterations() * v.size() * 4);
+}
+BENCHMARK(BM_Fp16RoundArray);
+
+void BM_AdamSweepHierarchy(benchmark::State& state) {
+  // Cache-hierarchy cost of validating the one-writeback-per-line premise.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::simulate_adam_sweep(1 << 16));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_AdamSweepHierarchy);
+
+void BM_TransformerStep(benchmark::State& state) {
+  dl::TransformerConfig cfg;
+  cfg.seq_len = 2;
+  cfg.d_model = 8;
+  cfg.d_ff = 64;
+  cfg.out_dim = 10;
+  cfg.output = dl::OutputKind::kClassification;
+  dl::TinyTransformer net(cfg);
+  sim::Rng rng(6);
+  const dl::Tensor x = dl::Tensor::randn(32, 16, rng, 1.0f);
+  dl::Tensor y(32, 1);
+  for (int i = 0; i < 32; ++i) y.at(i, 0) = static_cast<float>(i % 10);
+  for (auto _ : state) {
+    net.forward(x);
+    benchmark::DoNotOptimize(net.backward(y));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_TransformerStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

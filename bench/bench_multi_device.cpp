@@ -1,0 +1,67 @@
+// Extension study: TECO under multi-accelerator data parallelism.
+//
+// The paper motivates TECO with the large-cluster regime where the global
+// batch is convergence-capped, so adding GPUs shrinks the per-GPU batch
+// and communication dominates (Section II-A, the argument against DPU).
+// This bench quantifies that: fixed global batch, growing device count.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "dl/model_zoo.hpp"
+#include "offload/multi_device.hpp"
+
+int main() {
+  using namespace teco;
+  const auto& cal = offload::default_calibration();
+
+  for (const auto& model : {dl::bert_large_cased(), dl::t5_large()}) {
+    core::TextTable t("Strong scaling at fixed global batch 32: " +
+                      model.name);
+    t.set_header({"devices", "per-dev batch", "ZeRO-Offload step",
+                  "TECO-Red step", "speedup", "baseline comm share"});
+    const auto pts = offload::scaling_sweep(model, 32, {1, 2, 4, 8}, cal);
+    for (const auto& p : pts) {
+      t.add_row({std::to_string(p.devices),
+                 std::to_string(32 / p.devices) +
+                     (p.fits ? "" : " (OOM on 32GB)"),
+                 core::TextTable::ms(p.baseline),
+                 core::TextTable::ms(p.teco),
+                 core::TextTable::fmt(p.speedup) + "x",
+                 core::TextTable::pct(p.baseline_comm_fraction)});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("");
+  }
+  std::puts("As devices grow at fixed global batch, per-device compute "
+            "shrinks while each device still moves the full parameter/"
+            "gradient volume -> the baseline's communication share rises "
+            "and TECO's advantage widens. This is the regime the paper "
+            "cites to argue DPU cannot save ZeRO-Offload.\n");
+
+  // Topology sensitivity: private x16 slots vs one shared upstream port.
+  core::TextTable t2("Topology: 4 devices, Bert-large, global batch 32");
+  t2.set_header({"Topology", "ZeRO-Offload step", "TECO-Red step",
+                 "speedup"});
+  for (const bool shared : {false, true}) {
+    offload::MultiDeviceConfig mdc;
+    mdc.devices = 4;
+    mdc.global_batch = 32;
+    mdc.shared_upstream = shared;
+    const auto base = offload::simulate_multi_device_step(
+        offload::RuntimeKind::kZeroOffload, dl::bert_large_cased(), mdc,
+        cal);
+    const auto teco = offload::simulate_multi_device_step(
+        offload::RuntimeKind::kTecoReduction, dl::bert_large_cased(), mdc,
+        cal);
+    t2.add_row({shared ? "shared x16 upstream (CXL switch)"
+                       : "private x16 per device",
+                core::TextTable::ms(base.step_total),
+                core::TextTable::ms(teco.step_total),
+                core::TextTable::fmt(base.step_total / teco.step_total) +
+                    "x"});
+  }
+  std::fputs(t2.to_string().c_str(), stdout);
+  std::puts("Link contention behind a shared switch amplifies the "
+            "communication bottleneck -> TECO's relative win grows again.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Section VIII-D: Aggregator/Disaggregator overhead analysis.
+//
+// (1) The synthesized latency/power constants (Vivado, FPGA->ASIC scaled).
+// (2) The Ramulator-style DRAM study: the Disaggregator's read-modify-write
+//     raises simulated DRAM cycles by 2.48x (sequential) and 1.9x
+//     (shuffled) in the paper; our bank/row model reproduces the ordering
+//     and magnitudes.
+// (3) The bandwidth-gap argument: GDDR5 (~900 GB/s) vs PCIe 3.0 (16 GB/s)
+//     means the extra reads never become the bottleneck.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "dba/aggregator.hpp"
+#include "mem/dram.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace teco;
+
+  std::puts("Section VIII-D: hardware overhead of the DBA engines");
+  std::printf("  Aggregator:    latency %.2f ns, power %.4f W (ASIC-scaled)\n",
+              dba::kAggregatorLatency * 1e9, dba::kAggregatorPowerW);
+  std::printf("  Disaggregator: latency %.3f ns, power %.3f W (ASIC-scaled)\n",
+              dba::kDisaggregatorLatency * 1e9, dba::kDisaggregatorPowerW);
+  std::printf("  End-to-end model charges %.1f ns per line (pipelined).\n\n",
+              dba::kModeledDbaLatency * 1e9);
+
+  auto run = [](bool extra_read, bool shuffled) {
+    mem::Dram dram;
+    sim::Rng rng(9);
+    constexpr std::uint64_t kLines = 1 << 16;
+    for (std::uint64_t i = 0; i < kLines; ++i) {
+      const mem::Addr a = shuffled
+                              ? rng.next_below(kLines) * 64 * 1021
+                              : i * 64;
+      if (extra_read) dram.access(a, false);  // Disaggregator merge read.
+      dram.access(a, true);                   // Line update write.
+    }
+    return dram.stats();
+  };
+
+  core::TextTable t("DRAM-cycle amplification from the merge read "
+                    "(Ramulator-style bank/row model)");
+  t.set_header({"Access pattern", "write-only cycles", "read+write cycles",
+                "amplification", "paper"});
+  const auto seq_base = run(false, false);
+  const auto seq_rmw = run(true, false);
+  const auto shuf_base = run(false, true);
+  const auto shuf_rmw = run(true, true);
+  t.add_row({"sequential", std::to_string(seq_base.cycles),
+             std::to_string(seq_rmw.cycles),
+             core::TextTable::fmt(
+                 static_cast<double>(seq_rmw.cycles) / seq_base.cycles) + "x",
+             "2.48x"});
+  t.add_row({"shuffled", std::to_string(shuf_base.cycles),
+             std::to_string(shuf_rmw.cycles),
+             core::TextTable::fmt(
+                 static_cast<double>(shuf_rmw.cycles) / shuf_base.cycles) +
+                 "x",
+             "1.9x"});
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nBandwidth-gap check: the merge traffic runs against GDDR5 "
+            "(~900 GB/s across 8 controllers) while the line stream is "
+            "bounded by PCIe 3.0 (16 GB/s) -> amplified DRAM cycles stay "
+            "far from the bottleneck (56x headroom).");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Config-file-driven session: the Section V-A workflow.
+//
+// Loads the DBA hyperparameters from an AI-model configuration file
+// (examples/teco.cfg by default, or argv[1]) and runs a short coherent
+// training loop under it.
+//
+// Usage: ./config_driven [path/to/teco.cfg]
+#include <cstdio>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/teco.hpp"
+
+int main(int argc, char** argv) {
+  using namespace teco;
+  const std::string path = argc > 1 ? argv[1] : "examples/teco.cfg";
+
+  auto parsed = core::load_config_file(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "falling back to built-in defaults (%s)\n",
+                 parsed.errors.front().c_str());
+    parsed = core::parse_config(
+        "protocol = update\ndba = on\nact_aft_steps = 50\ndirty_bytes = 2\n"
+        "giant_cache_mib = 64\n");
+  }
+  for (const auto& k : parsed.unknown_keys) {
+    std::fprintf(stderr, "warning: unknown config key '%s'\n", k.c_str());
+  }
+
+  std::puts("Effective configuration:");
+  std::fputs(core::to_config_text(parsed.session).c_str(), stdout);
+  std::puts("");
+
+  // A short coherent run under the loaded config.
+  auto scfg = parsed.session;
+  scfg.act_aft_steps = std::min<std::size_t>(scfg.act_aft_steps, 60);
+  core::Session session(scfg);
+  const std::size_t n = 4096;
+  const auto params = session.allocate_parameters("demo.params", n * 4);
+  const auto grads = session.allocate_gradients("demo.grads", n * 4);
+
+  std::vector<float> master(n, 1.0f), g(n, 0.0f);
+  for (std::size_t step = 0; step < 100; ++step) {
+    for (std::size_t i = 0; i < n; ++i) {
+      g[i] = 1e-3f * static_cast<float>((i + step) % 7);
+    }
+    session.device_write_gradients(grads, g);
+    session.backward_complete();
+    session.check_activation(step);
+    for (std::size_t i = 0; i < n; ++i) master[i] -= 1e-4f * g[i];
+    session.cpu_write_parameters(params, master);
+    session.optimizer_step_complete();
+  }
+
+  const auto& st = session.stats();
+  std::printf("100 steps complete: pushes=%llu, DBA-trimmed=%llu, "
+              "demand fetches=%llu, fallbacks=%llu\n",
+              static_cast<unsigned long long>(st.update_pushes),
+              static_cast<unsigned long long>(st.dba_trimmed_lines),
+              static_cast<unsigned long long>(st.demand_fetches),
+              static_cast<unsigned long long>(st.protocol_fallbacks));
+  std::printf("wire volume: %.2f MiB down / %.2f MiB up, simulated link "
+              "time %.3f ms\n",
+              session.link()
+                      .channel(cxl::Direction::kCpuToDevice)
+                      .stats()
+                      .payload_bytes /
+                  1048576.0,
+              session.link()
+                      .channel(cxl::Direction::kDeviceToCpu)
+                      .stats()
+                      .payload_bytes /
+                  1048576.0,
+              session.now() * 1e3);
+  return 0;
+}

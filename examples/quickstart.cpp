@@ -1,0 +1,87 @@
+// Quickstart: train a real model through the TECO coherent domain.
+//
+// Mirrors the paper's Listing 1: the only TECO-specific calls in the
+// training loop are check_activation(step) and the fences hidden inside
+// backward_complete() / optimizer_step_complete(). Parameters and
+// gradients flow through the giant cache with real bytes — including DBA's
+// low-byte splice once it activates — while Adam runs on the CPU master
+// copy, exactly like ZeRO-Offload + TECO.
+//
+// Build & run:  ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/teco.hpp"
+
+int main() {
+  using namespace teco;
+
+  // 1. Configure the coherent domain (defaults follow the paper:
+  //    update protocol, act_aft_steps = 500, dirty_bytes = 2).
+  core::SessionConfig scfg;
+  scfg.act_aft_steps = 100;  // Activate DBA early for the demo.
+  core::Session session(scfg);
+
+  // 2. A real model + task, trained with real FP32 Adam.
+  const auto task = dl::make_classification_task();
+  dl::Mlp model(dl::default_model_for(task));
+  const std::size_t n = model.n_params();
+  dl::Adam adam(n);
+  std::vector<float> master(model.params().begin(), model.params().end());
+
+  // 3. Map the tensors into the giant cache.
+  const auto params = session.allocate_parameters("mlp.params", n * 4);
+  const auto grads = session.allocate_gradients("mlp.grads", n * 4);
+  session.cpu_write_parameters(params, master);
+  session.optimizer_step_complete();
+
+  // 4. Listing-1 training loop.
+  sim::Rng data_rng(7);
+  const auto& cls = std::get<dl::ClassificationTask>(task);
+  float loss = 0.0f;
+  for (std::size_t step = 0; step < 300; ++step) {
+    // Accelerator: forward/backward on the giant-cache parameter copy.
+    model.load_params(session.device_read_parameters(params, n));
+    const auto batch = cls.sample(32, data_rng);
+    model.forward(batch.inputs);
+    loss = model.backward(batch.targets);
+
+    // Gradients stream home line-by-line during backward.
+    session.device_write_gradients(grads,
+                                   {model.grads().data(), model.grads().size()});
+    session.backward_complete();  // CXLFENCE().
+
+    session.check_activation(step);  // The Listing-1 integration point.
+
+    // CPU: clip + Adam on the master copy; updates stream to the device.
+    auto g = session.cpu_read_gradients(grads, n);
+    adam.clip_gradients(g);
+    adam.step(master, g);
+    session.cpu_write_parameters(params, master);
+    session.optimizer_step_complete();  // CXLFENCE() + flush.
+
+    if (step % 50 == 0) {
+      std::printf("step %3zu  loss %.4f  dba=%s\n", step, loss,
+                  session.dba_active() ? "on" : "off");
+    }
+  }
+
+  // 5. What happened on the interconnect?
+  const auto& s = session.stats();
+  const auto& down = session.link().channel(cxl::Direction::kCpuToDevice);
+  const auto& up = session.link().channel(cxl::Direction::kDeviceToCpu);
+  std::printf("\nfinal training loss:    %.4f\n", loss);
+  std::printf("update pushes:          %llu (demand fetches: %llu)\n",
+              static_cast<unsigned long long>(s.update_pushes),
+              static_cast<unsigned long long>(s.demand_fetches));
+  std::printf("DBA-trimmed lines:      %llu\n",
+              static_cast<unsigned long long>(s.dba_trimmed_lines));
+  std::printf("payload CPU->device:    %.2f MiB\n",
+              down.stats().payload_bytes / (1024.0 * 1024.0));
+  std::printf("payload device->CPU:    %.2f MiB\n",
+              up.stats().payload_bytes / (1024.0 * 1024.0));
+  std::printf("simulated link time:    %.3f ms\n", session.now() * 1e3);
+  std::puts("\nDone: the model trained through the CXL coherent domain with "
+            "DBA active; no demand fetches, no invalidations.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// MESI states and the paper's update-protocol extension (Fig. 4).
+//
+// The only change TECO makes to CXL's MESI is the red arrow of Fig. 4: a
+// line in Modified may transition directly to Shared by pushing FlushData
+// at update time (home-agent approval), instead of staying M until an
+// invalidation-triggered writeback. All other transitions are stock MESI.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace teco::coherence {
+
+enum class MesiState : std::uint8_t {
+  kInvalid = 0,
+  kShared = 1,
+  kExclusive = 2,
+  kModified = 3,
+};
+
+inline constexpr std::string_view to_string(MesiState s) {
+  switch (s) {
+    case MesiState::kInvalid: return "I";
+    case MesiState::kShared: return "S";
+    case MesiState::kExclusive: return "E";
+    case MesiState::kModified: return "M";
+  }
+  return "?";
+}
+
+enum class Protocol : std::uint8_t {
+  kInvalidation,  ///< Stock CXL.cache MESI.
+  kUpdate,        ///< TECO extension: push FlushData on update (M -> S).
+};
+
+/// Whether `from -> to` is a legal transition under `proto`. Used by the
+/// protocol tests to sweep the full matrix.
+constexpr bool legal_transition(Protocol proto, MesiState from, MesiState to) {
+  using S = MesiState;
+  switch (from) {
+    case S::kInvalid:
+      return to == S::kExclusive || to == S::kShared || to == S::kInvalid;
+    case S::kShared:
+      return to == S::kInvalid || to == S::kShared || to == S::kModified ||
+             to == S::kExclusive;
+    case S::kExclusive:
+      return to == S::kModified || to == S::kShared || to == S::kInvalid ||
+             to == S::kExclusive;
+    case S::kModified:
+      // M->S with a data push is the update-protocol extension; under
+      // invalidation MESI, M only leaves via writeback to I (or stays M).
+      if (to == S::kShared) return proto == Protocol::kUpdate;
+      return to == S::kInvalid || to == S::kModified;
+  }
+  return false;
+}
+
+}  // namespace teco::coherence

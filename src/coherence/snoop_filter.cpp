@@ -1,0 +1,2 @@
+// SnoopFilter is header-only; this TU anchors the header's compilation.
+#include "coherence/snoop_filter.hpp"

@@ -1,0 +1,36 @@
+// From-scratch LZ4 block codec (Section VIII-F, Table VIII).
+//
+// The paper evaluates LZ4 as the lossless alternative to DBA and finds it
+// impractical: FP32 parameter streams barely compress (0-36 %) while the
+// (de)compression passes at least double training time. We implement the
+// real LZ4 block format — greedy hash-table matcher, standard token/
+// literal/offset encoding — so both the ratio and the throughput columns of
+// Table VIII come from a genuine codec run on parameter bytes.
+//
+// Format: each sequence is
+//   token(1B: lit_len<<4 | (match_len-4)) [lit_len ext] literals
+//   offset(2B LE) [match_len ext]
+// with 255-run length extensions; the block ends with a literals-only
+// sequence and the last 5 bytes are always literals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace teco::compress {
+
+/// Compress `src` into a self-contained LZ4 block. Never fails; worst case
+/// the output is slightly larger than the input (incompressible data).
+std::vector<std::uint8_t> lz4_compress(std::span<const std::uint8_t> src);
+
+/// Decompress an LZ4 block produced by lz4_compress (or any conformant
+/// encoder) into exactly `decompressed_size` bytes. Throws
+/// std::runtime_error on malformed input.
+std::vector<std::uint8_t> lz4_decompress(std::span<const std::uint8_t> src,
+                                         std::size_t decompressed_size);
+
+/// Convenience: compressed-size / original-size (1.0 = incompressible).
+double compression_ratio(std::span<const std::uint8_t> src);
+
+}  // namespace teco::compress

@@ -1,0 +1,44 @@
+#include "compress/param_corpus.hpp"
+
+#include <cstring>
+
+#include "sim/rng.hpp"
+
+namespace teco::compress {
+
+std::vector<CorpusSpec> table8_corpora() {
+  // zero_run_fraction tuned so the real LZ4 codec measures ~Table VIII's
+  // ratios (5 %, 0 %, 0 %, 36 % saved) on the generated corpus.
+  return {
+      {"GPT2", 0.075, 101},
+      {"Albert-xxlarge-v1", 0.0, 102},
+      {"Bert-large", 0.0, 103},
+      {"T5-large", 0.52, 104},
+  };
+}
+
+std::vector<std::uint8_t> make_param_corpus(const CorpusSpec& spec,
+                                            std::size_t bytes) {
+  const std::size_t n_floats = bytes / 4;
+  std::vector<std::uint8_t> out(n_floats * 4);
+  sim::Rng rng(spec.seed);
+
+  std::size_t i = 0;
+  while (i < n_floats) {
+    if (spec.zero_run_fraction > 0.0 &&
+        rng.next_bool(spec.zero_run_fraction / 64.0)) {
+      // A zero run of ~64 floats (a pruned row / padding block).
+      const std::size_t run = 32 + rng.next_below(64);
+      for (std::size_t k = 0; k < run && i < n_floats; ++k, ++i) {
+        std::memset(out.data() + i * 4, 0, 4);
+      }
+      continue;
+    }
+    const float v = static_cast<float>(rng.next_gaussian()) * 0.02f;
+    std::memcpy(out.data() + i * 4, &v, 4);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace teco::compress

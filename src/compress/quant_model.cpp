@@ -1,0 +1,70 @@
+#include "compress/quant_model.hpp"
+
+#include <algorithm>
+
+#include "offload/runtime.hpp"
+#include "offload/step_model.hpp"
+
+namespace teco::compress {
+
+sim::Time lz4_step_time(const dl::ModelConfig& m, std::uint32_t batch,
+                        const offload::Calibration& cal,
+                        const Lz4PathConfig& lz4) {
+  // Gradients ride the TECO-CXL update path unchanged; replace only the
+  // parameter path: CPU compress -> link transfer -> GPU decompress.
+  const auto base =
+      offload::simulate_step(offload::RuntimeKind::kTecoCxl, m, batch, cal);
+  const auto in = offload::compute_step_inputs(m, batch, cal);
+  const double bytes = static_cast<double>(in.param_bytes);
+
+  const sim::Time compress = bytes / lz4.compress_bw;
+  const sim::Time transfer = bytes * lz4.ratio / cal.phy.cxl_bandwidth();
+  const sim::Time decompress = bytes / lz4.decompress_bw;
+  // The three stages pipeline against each other but can only start once
+  // the optimizer produced the parameters; the slowest stage is exposed
+  // beyond whatever the Adam window hides.
+  const sim::Time pipeline = std::max({compress, transfer, decompress});
+  const sim::Time exposed = std::max(0.0, pipeline - in.adam) +
+                            std::min(compress, in.adam);
+
+  return base.forward_backward + base.grad_transfer_exposed +
+         base.grad_optimizer + base.param_optimizer + exposed;
+}
+
+sim::Time zeroquant_step_time(const dl::ModelConfig& m, std::uint32_t batch,
+                              const offload::Calibration& cal,
+                              const ZeroQuantConfig& zq) {
+  const auto in = offload::compute_step_inputs(m, batch, cal);
+  const sim::Time student_fb = in.forward + in.backward;
+  // Teacher inference (forward only) + layer-wise distillation losses.
+  const sim::Time teacher = in.forward;
+  const sim::Time kd = zq.kd_overhead_factor * student_fb;
+  // Quantized parameters shrink the explicit transfers 4x.
+  const sim::Time param_xfer = static_cast<double>(in.param_bytes) *
+                               zq.compression_ratio / cal.phy.dma_bandwidth();
+  const sim::Time grad_xfer = static_cast<double>(in.grad_bytes) *
+                              zq.compression_ratio / cal.phy.dma_bandwidth();
+  return student_fb + teacher + kd + in.grad_clip + in.adam + param_xfer +
+         grad_xfer;
+}
+
+Table7Row table7_training_hours(std::uint32_t batch, std::uint32_t epochs) {
+  const auto& cal = offload::default_calibration();
+  const auto model = dl::bert_base_uncased();
+  const double steps =
+      static_cast<double>(392702ull * epochs) / static_cast<double>(batch);
+
+  const sim::Time teco_step =
+      offload::simulate_step(offload::RuntimeKind::kTecoReduction, model,
+                             batch, cal)
+          .total();
+  const sim::Time zq_step = zeroquant_step_time(model, batch, cal);
+
+  Table7Row row;
+  row.teco_hours = teco_step * steps / 3600.0;
+  row.zeroquant_hours = zq_step * steps / 3600.0;
+  row.ratio = row.zeroquant_hours / row.teco_hours;
+  return row;
+}
+
+}  // namespace teco::compress

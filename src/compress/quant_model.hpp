@@ -1,0 +1,55 @@
+// Cost models for the model-compression alternatives (Section VIII-F).
+//
+// Table VII: ZeRO-Quant trains a quantized student alongside a
+// full-precision teacher; the extra teacher forward and layer-wise
+// knowledge distillation make each step ~2.9x a TECO-Reduction step even
+// though its parameter traffic is 4x smaller.
+//
+// Table VIII: replacing DBA with LZ4 keeps transfers lossless but pays a
+// CPU compression pass per step on the full parameter stream; the measured
+// codec ratio and throughput (from compress/lz4.hpp on the Table VIII
+// corpora) decide the exposed time.
+#pragma once
+
+#include <cstdint>
+
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "sim/time.hpp"
+
+namespace teco::compress {
+
+struct Lz4PathConfig {
+  double ratio = 1.0;           ///< compressed/original, measured on corpus.
+  double compress_bw = 2.0e9;   ///< Multithreaded CPU LZ4 (bytes/s).
+  double decompress_bw = 20e9;  ///< GPU nvCOMP-class decompression.
+};
+
+/// One training step where the parameter stream is LZ4-compressed on CPU,
+/// sent over CXL, and decompressed on the GPU (gradients use TECO-CXL).
+sim::Time lz4_step_time(const dl::ModelConfig& m, std::uint32_t batch,
+                        const offload::Calibration& cal,
+                        const Lz4PathConfig& lz4);
+
+struct ZeroQuantConfig {
+  /// Teacher-forward + layer-wise distillation overhead as a multiple of
+  /// the student's forward+backward time. Fitted once to Table VII.
+  double kd_overhead_factor = 5.8;
+  /// INT8 quantization: 75 % parameter-traffic reduction (Table VII).
+  double compression_ratio = 0.25;
+};
+
+sim::Time zeroquant_step_time(const dl::ModelConfig& m, std::uint32_t batch,
+                              const offload::Calibration& cal,
+                              const ZeroQuantConfig& zq = {});
+
+/// Table VII end-to-end hours: GLUE-MNLI (392,702 samples) x epochs.
+struct Table7Row {
+  double zeroquant_hours = 0.0;
+  double teco_hours = 0.0;
+  double ratio = 0.0;
+};
+Table7Row table7_training_hours(std::uint32_t batch = 8,
+                                std::uint32_t epochs = 3);
+
+}  // namespace teco::compress

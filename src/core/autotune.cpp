@@ -1,0 +1,58 @@
+#include "core/autotune.hpp"
+
+#include <cmath>
+
+#include "offload/experiments.hpp"
+
+namespace teco::core {
+
+AutotuneResult tune_act_aft_steps(const dl::Task& task,
+                                  const AutotuneConfig& cfg) {
+  // Reference run: exact training (no DBA) for the quality baseline, and
+  // the ZeRO-Offload schedule for the speed baseline.
+  auto exact_cfg = cfg.train;
+  exact_cfg.dba_enabled = false;
+  exact_cfg.record_every = 0;
+  const auto exact = dl::run_training(task, exact_cfg);
+  const auto& cal = offload::default_calibration();
+  const double base_time = offload::schedule_training_time(
+      offload::RuntimeKind::kZeroOffload, cfg.perf_model, cfg.batch,
+      cfg.train.steps, 0, cal);
+
+  AutotuneResult result;
+  double best_speedup = 0.0, best_delta = 0.0;
+
+  auto objective = [&](double act_d) {
+    const auto act = static_cast<std::size_t>(std::llround(act_d));
+    auto run_cfg = cfg.train;
+    run_cfg.dba_enabled = true;
+    run_cfg.act_aft_steps = act;
+    run_cfg.record_every = 0;
+    const auto run = dl::run_training(task, run_cfg);
+    const double delta =
+        std::abs(static_cast<double>(run.final_metric) - exact.final_metric);
+    const double time = offload::schedule_training_time(
+        offload::RuntimeKind::kTecoReduction, cfg.perf_model, cfg.batch,
+        cfg.train.steps, act, cal);
+    const double speedup = base_time / time;
+    const double score =
+        speedup -
+        cfg.penalty_weight * std::max(0.0, delta - cfg.metric_tolerance);
+    ++result.evaluations;
+    if (score > result.best_score || result.evaluations == 1) {
+      result.best_score = score;
+      result.best_act_aft_steps = act;
+      best_speedup = speedup;
+      best_delta = delta;
+    }
+    return score;
+  };
+
+  sim::BayesOpt1D bo(0.0, static_cast<double>(cfg.train.steps), cfg.bo);
+  bo.maximize(objective);
+  result.speedup_at_best = best_speedup;
+  result.metric_delta_at_best = best_delta;
+  return result;
+}
+
+}  // namespace teco::core

@@ -1,0 +1,41 @@
+// act_aft_steps autotuner (Section V-A: "act_aft_steps can be tuned using
+// the Bayesian optimization").
+//
+// Objective: maximize end-to-end speedup subject to a bounded quality
+// penalty. Each evaluation runs REAL training with the candidate
+// activation step (the quality term) and the timeline model for the same
+// schedule (the speed term), scalarized as
+//     score(act) = speedup(act) - penalty_weight * max(0, |dMetric| - tol).
+#pragma once
+
+#include <cstdint>
+
+#include "dl/dba_training.hpp"
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "sim/bayesopt.hpp"
+
+namespace teco::core {
+
+struct AutotuneConfig {
+  dl::TrainRunConfig train;            ///< Base run (dba fields overridden).
+  dl::ModelConfig perf_model;          ///< Timeline model for the speed term.
+  std::uint32_t batch = 4;
+  double metric_tolerance = 0.02;      ///< Allowed |metric delta|.
+  double penalty_weight = 50.0;
+  sim::BayesOptConfig bo{};
+};
+
+struct AutotuneResult {
+  std::size_t best_act_aft_steps = 0;
+  double best_score = 0.0;
+  double speedup_at_best = 0.0;
+  double metric_delta_at_best = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Tune act_aft_steps in [0, train.steps] for the given task.
+AutotuneResult tune_act_aft_steps(const dl::Task& task,
+                                  const AutotuneConfig& cfg);
+
+}  // namespace teco::core

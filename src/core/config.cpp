@@ -1,0 +1,142 @@
+#include "core/config.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace teco::core {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_u64(std::string_view v, std::uint64_t* out) {
+  const auto* end = v.data() + v.size();
+  const auto res = std::from_chars(v.data(), end, *out);
+  return res.ec == std::errc{} && res.ptr == end;
+}
+
+bool parse_onoff(std::string_view v, bool* out) {
+  if (v == "on" || v == "true" || v == "1") {
+    *out = true;
+    return true;
+  }
+  if (v == "off" || v == "false" || v == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ParsedConfig parse_config(std::string_view text) {
+  ParsedConfig out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    out.errors.push_back("line " + std::to_string(line_no) + ": " + what);
+  };
+
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail("expected 'key = value'");
+      continue;
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    if (key == "protocol") {
+      if (value == "update") {
+        out.session.protocol = coherence::Protocol::kUpdate;
+      } else if (value == "invalidation") {
+        out.session.protocol = coherence::Protocol::kInvalidation;
+      } else {
+        fail("protocol must be 'update' or 'invalidation'");
+      }
+    } else if (key == "dba") {
+      if (!parse_onoff(value, &out.session.dba_enabled)) {
+        fail("dba must be on/off");
+      }
+    } else if (key == "act_aft_steps") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v)) {
+        out.session.act_aft_steps = static_cast<std::size_t>(v);
+      } else {
+        fail("act_aft_steps must be a non-negative integer");
+      }
+    } else if (key == "dirty_bytes") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v <= 4) {
+        out.session.dirty_bytes = static_cast<std::uint8_t>(v);
+      } else {
+        fail("dirty_bytes must be in [0, 4]");
+      }
+    } else if (key == "giant_cache_mib") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v > 0) {
+        out.session.giant_cache_capacity = v << 20;
+      } else {
+        fail("giant_cache_mib must be a positive integer");
+      }
+    } else if (key == "trace") {
+      if (!parse_onoff(value, &out.session.enable_trace)) {
+        fail("trace must be on/off");
+      }
+    } else {
+      out.unknown_keys.push_back(key);
+    }
+  }
+  return out;
+}
+
+ParsedConfig load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParsedConfig out;
+    out.errors.push_back("cannot open config file: " + path);
+    return out;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_config(buf.str());
+}
+
+std::string to_config_text(const SessionConfig& cfg) {
+  std::ostringstream os;
+  os << "protocol = "
+     << (cfg.protocol == coherence::Protocol::kUpdate ? "update"
+                                                      : "invalidation")
+     << "\n";
+  os << "dba = " << (cfg.dba_enabled ? "on" : "off") << "\n";
+  os << "act_aft_steps = " << cfg.act_aft_steps << "\n";
+  os << "dirty_bytes = " << static_cast<unsigned>(cfg.dirty_bytes) << "\n";
+  os << "giant_cache_mib = " << (cfg.giant_cache_capacity >> 20) << "\n";
+  os << "trace = " << (cfg.enable_trace ? "on" : "off") << "\n";
+  return os.str();
+}
+
+}  // namespace teco::core

@@ -1,0 +1,46 @@
+// AI-model configuration file parsing (Section V-A).
+//
+// The paper: "TECO determines the activation of DBA after a specific
+// number of training steps (specified with act_aft_steps by the user in an
+// AI model configuration file)" — alongside dirty_bytes and the usual
+// hyperparameters. This parser reads that file format: one `key = value`
+// pair per line, `#` comments, case-sensitive keys, unknown keys collected
+// for the caller to report.
+//
+//   # teco.cfg
+//   protocol        = update        # update | invalidation
+//   dba             = on            # on | off
+//   act_aft_steps   = 500
+//   dirty_bytes     = 2
+//   giant_cache_mib = 4096
+//   trace           = off
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace teco::core {
+
+struct ParsedConfig {
+  SessionConfig session;
+  std::vector<std::string> unknown_keys;
+  std::vector<std::string> errors;  ///< Empty when the file parsed clean.
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse configuration text (the file's contents).
+ParsedConfig parse_config(std::string_view text);
+
+/// Load and parse a configuration file from disk. A missing file is
+/// reported through `errors`.
+ParsedConfig load_config_file(const std::string& path);
+
+/// Serialize a SessionConfig back to the file format (round-trips through
+/// parse_config).
+std::string to_config_text(const SessionConfig& cfg);
+
+}  // namespace teco::core

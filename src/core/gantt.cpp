@@ -1,0 +1,94 @@
+#include "core/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "offload/step_model.hpp"
+
+namespace teco::core {
+
+void GanttChart::add(std::string lane, char glyph, sim::Time start,
+                     sim::Time end) {
+  if (end < start) std::swap(start, end);
+  max_end_ = std::max(max_end_, end);
+  if (std::find(lane_order_.begin(), lane_order_.end(), lane) ==
+      lane_order_.end()) {
+    lane_order_.push_back(lane);
+  }
+  spans_.push_back(Span{std::move(lane), glyph, start, end});
+}
+
+std::string GanttChart::render(std::size_t width) const {
+  std::ostringstream os;
+  if (max_end_ <= 0.0 || width == 0) return {};
+  std::size_t name_width = 0;
+  for (const auto& l : lane_order_) name_width = std::max(name_width, l.size());
+
+  for (const auto& lane : lane_order_) {
+    std::string row(width, '.');
+    char glyph_for_legend = ' ';
+    for (const auto& s : spans_) {
+      if (s.lane != lane) continue;
+      glyph_for_legend = s.glyph;
+      auto col = [&](sim::Time t) {
+        return std::min(
+            width - 1,
+            static_cast<std::size_t>(t / max_end_ *
+                                     static_cast<double>(width)));
+      };
+      const std::size_t a = col(s.start);
+      const std::size_t b = std::max(col(s.end), a);
+      for (std::size_t c = a; c <= b; ++c) row[c] = s.glyph;
+    }
+    (void)glyph_for_legend;
+    os << lane << std::string(name_width - lane.size(), ' ') << " |" << row
+       << "|\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f ms", max_end_ * 1e3);
+  os << std::string(name_width, ' ') << " 0" << std::string(width - 1, '-')
+     << "> " << buf << "\n";
+  return os.str();
+}
+
+GanttChart step_gantt(offload::RuntimeKind kind, const dl::ModelConfig& m,
+                      std::uint32_t batch, const offload::Calibration& cal) {
+  using offload::RuntimeKind;
+  const auto in = offload::compute_step_inputs(m, batch, cal);
+  const auto s = offload::simulate_step(kind, m, batch, cal);
+
+  GanttChart g;
+  const sim::Time fwd_end = in.forward;
+  const sim::Time bwd_end = in.forward + in.backward;
+  g.add("GPU fwd", 'F', 0.0, fwd_end);
+  g.add("GPU bwd", 'B', fwd_end, bwd_end);
+
+  // Gradient transfer occupies the up-link from early backward until its
+  // exposure past bwd_end (TECO) or trails the buffer flushes (baseline).
+  const sim::Time grads_done = bwd_end + s.grad_transfer_exposed;
+  const bool teco = kind == RuntimeKind::kTecoCxl ||
+                    kind == RuntimeKind::kTecoReduction;
+  const sim::Time grad_xfer_start =
+      kind == RuntimeKind::kCxlInvalidation
+          ? bwd_end
+          : (teco ? fwd_end
+                  : fwd_end + in.backward *
+                                  static_cast<double>(in.grad_buffer_bytes) /
+                                  static_cast<double>(in.grad_bytes));
+  g.add("link up", '^', grad_xfer_start, grads_done);
+
+  const sim::Time clip_end = grads_done + in.grad_clip;
+  const sim::Time adam_end = clip_end + in.adam;
+  g.add("CPU clip", 'c', grads_done, clip_end);
+  g.add("CPU adam", 'A', clip_end, adam_end);
+
+  const sim::Time params_done = adam_end + s.param_transfer_exposed;
+  const sim::Time param_xfer_start =
+      teco ? clip_end
+           : (kind == RuntimeKind::kCxlInvalidation ? adam_end : adam_end);
+  g.add("link down", 'v', param_xfer_start, params_done);
+  return g;
+}
+
+}  // namespace teco::core

@@ -1,0 +1,45 @@
+// Textual Gantt charts of a training step's timeline.
+//
+// Renders the overlap structure the paper's figures describe — GPU
+// compute, CPU optimizer, and the two link directions — as fixed-width
+// lanes, so `bert_finetune` can *show* why TECO hides what ZeRO-Offload
+// exposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "offload/runtime.hpp"
+#include "sim/time.hpp"
+
+namespace teco::core {
+
+class GanttChart {
+ public:
+  void add(std::string lane, char glyph, sim::Time start, sim::Time end);
+
+  /// Render all lanes over [0, max_end] scaled to `width` columns.
+  std::string render(std::size_t width = 72) const;
+
+  sim::Time span_end() const { return max_end_; }
+
+ private:
+  struct Span {
+    std::string lane;
+    char glyph;
+    sim::Time start, end;
+  };
+  std::vector<Span> spans_;
+  std::vector<std::string> lane_order_;
+  sim::Time max_end_ = 0.0;
+};
+
+/// Build the Gantt chart of one training step under `kind`, reconstructed
+/// from the same phase schedule the timeline simulator uses.
+GanttChart step_gantt(offload::RuntimeKind kind, const dl::ModelConfig& m,
+                      std::uint32_t batch, const offload::Calibration& cal);
+
+}  // namespace teco::core

@@ -1,0 +1,74 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace teco::core {
+
+void TextTable::set_header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void TextTable::add_row(std::vector<std::string> cols) {
+  rows_.push_back(std::move(cols));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  auto rule = [&] {
+    for (const auto w : widths) os << "|" << std::string(w + 2, '-');
+    os << "|\n";
+  };
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  return os.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::ms(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fms", precision, seconds * 1e3);
+  return buf;
+}
+
+std::string TextTable::mib(double bytes, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fMiB", precision,
+                bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace teco::core

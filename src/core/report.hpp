@@ -1,0 +1,28 @@
+// Fixed-width text tables, so benches print paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace teco::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols);
+  void add_row(std::vector<std::string> cols);
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+  static std::string ms(double seconds, int precision = 1);
+  static std::string mib(double bytes, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace teco::core

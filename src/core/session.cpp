@@ -1,0 +1,124 @@
+#include "core/session.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace teco::core {
+
+namespace {
+std::uint64_t round_up_lines(std::uint64_t bytes) {
+  return (bytes + mem::kLineBytes - 1) / mem::kLineBytes * mem::kLineBytes;
+}
+}  // namespace
+
+Session::Session(SessionConfig cfg)
+    : cfg_(cfg), trace_(cfg.enable_trace),
+      link_(std::make_unique<cxl::Link>(cfg.phy)),
+      gc_(std::make_unique<coherence::GiantCache>(cfg.giant_cache_capacity)),
+      cpu_cache_(std::make_unique<mem::Cache>(mem::llc_config())) {
+  coherence::HomeAgent::Options opts;
+  opts.protocol = cfg_.protocol;
+  opts.dba = dba::DbaRegister(false, cfg_.dirty_bytes);
+  opts.cpu_mem = &cpu_mem_;
+  opts.device_mem = &device_mem_;
+  opts.trace = cfg_.enable_trace ? &trace_ : nullptr;
+  agent_ = std::make_unique<coherence::HomeAgent>(*link_, *gc_, *cpu_cache_,
+                                                  opts);
+}
+
+mem::Addr Session::allocate_parameters(const std::string& name,
+                                       std::uint64_t bytes) {
+  const mem::Addr base = next_alloc_;
+  const std::uint64_t sz = round_up_lines(bytes);
+  gc_->map_region(name, base, sz, coherence::MesiState::kExclusive,
+                  /*dba_eligible=*/true);
+  next_alloc_ += sz;
+  return base;
+}
+
+mem::Addr Session::allocate_gradients(const std::string& name,
+                                      std::uint64_t bytes) {
+  const mem::Addr base = next_alloc_;
+  const std::uint64_t sz = round_up_lines(bytes);
+  gc_->map_region(name, base, sz, coherence::MesiState::kExclusive,
+                  /*dba_eligible=*/false);
+  next_alloc_ += sz;
+  return base;
+}
+
+void Session::device_write_gradients(mem::Addr base,
+                                     std::span<const float> values) {
+  // The device writes into its own (giant-cache) memory, then the protocol
+  // pushes each touched line home.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    device_mem_.write_f32(base + i * 4, values[i]);
+  }
+  const std::size_t lines = (values.size() * 4 + mem::kLineBytes - 1) /
+                            mem::kLineBytes;
+  for (std::size_t l = 0; l < lines; ++l) {
+    agent_->device_write_line(now_, base + l * mem::kLineBytes);
+  }
+}
+
+sim::Time Session::backward_complete() {
+  now_ = agent_->cxl_fence(now_);
+  return now_;
+}
+
+bool Session::check_activation(std::size_t step) {
+  if (cfg_.dba_enabled && !dba_active_ && step >= cfg_.act_aft_steps) {
+    agent_->set_dba(now_, dba::DbaRegister(true, cfg_.dirty_bytes));
+    dba_active_ = true;
+  }
+  return dba_active_;
+}
+
+void Session::cpu_write_parameters(mem::Addr base,
+                                   std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cpu_mem_.write_f32(base + i * 4, values[i]);
+  }
+  const std::size_t lines = (values.size() * 4 + mem::kLineBytes - 1) /
+                            mem::kLineBytes;
+  for (std::size_t l = 0; l < lines; ++l) {
+    agent_->cpu_write_line(now_, base + l * mem::kLineBytes);
+  }
+}
+
+sim::Time Session::optimizer_step_complete() {
+  now_ = agent_->cxl_fence(now_);
+  agent_->cpu_flush_all(now_);
+  return now_;
+}
+
+std::vector<float> Session::device_read_parameters(mem::Addr base,
+                                                   std::size_t count) {
+  const std::size_t lines =
+      (count * 4 + mem::kLineBytes - 1) / mem::kLineBytes;
+  for (std::size_t l = 0; l < lines; ++l) {
+    const auto a = agent_->device_read_line(now_, base + l * mem::kLineBytes);
+    if (a.ready > now_) now_ = a.ready;
+  }
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = device_mem_.read_f32(base + i * 4);
+  }
+  return out;
+}
+
+std::vector<float> Session::cpu_read_gradients(mem::Addr base,
+                                               std::size_t count) {
+  const std::size_t lines =
+      (count * 4 + mem::kLineBytes - 1) / mem::kLineBytes;
+  for (std::size_t l = 0; l < lines; ++l) {
+    const auto a = agent_->cpu_read_line(now_, base + l * mem::kLineBytes);
+    if (a.ready > now_) now_ = a.ready;
+  }
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = cpu_mem_.read_f32(base + i * 4);
+  }
+  return out;
+}
+
+}  // namespace teco::core

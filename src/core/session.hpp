@@ -1,0 +1,111 @@
+// The user-facing TECO session (Section VI, Listing 1).
+//
+// A Session owns one CXL coherent domain: the link, the giant cache, the
+// CPU cache model, backing stores for both memories, and the home agent.
+// Its hooks mirror the two-line integration of Listing 1:
+//
+//   teco::core::Session session(cfg);
+//   auto params = session.allocate_parameters("model", bytes);
+//   for (step = 0; step < N; ++step) {
+//     session.device_write_gradients(grads, values);  // inside backward
+//     session.backward_complete();                    // CXLFENCE()
+//     session.check_activation(step);                 // the Listing-1 call
+//     session.cpu_write_parameters(params, updated);  // optimizer.step()
+//     session.optimizer_step_complete();              // CXLFENCE() + flush
+//   }
+//
+// Real bytes move through the Aggregator/Disaggregator, so what
+// device_read_parameters() returns includes DBA's low-byte splice — the
+// same approximation the numeric experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coherence/giant_cache.hpp"
+#include "coherence/home_agent.hpp"
+#include "cxl/link.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "sim/trace.hpp"
+
+namespace teco::core {
+
+struct SessionConfig {
+  coherence::Protocol protocol = coherence::Protocol::kUpdate;
+  bool dba_enabled = true;
+  std::size_t act_aft_steps = 500;  ///< Default per Section V-A.
+  std::uint8_t dirty_bytes = 2;
+  std::uint64_t giant_cache_capacity = 4ull << 30;
+  cxl::PhyConfig phy{};
+  bool enable_trace = false;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig cfg = {});
+
+  /// Map a parameter tensor into the giant cache (DBA-eligible). The
+  /// device starts with a copy (state E), as before training begins.
+  mem::Addr allocate_parameters(const std::string& name, std::uint64_t bytes);
+  /// Map a gradient tensor (never DBA-trimmed).
+  mem::Addr allocate_gradients(const std::string& name, std::uint64_t bytes);
+
+  // --- Training-step hooks (Listing 1) ---
+
+  /// The accelerator produces gradient values during backward; each
+  /// affected cache line rides the update protocol to CPU memory.
+  void device_write_gradients(mem::Addr base, std::span<const float> values);
+
+  /// CXLFENCE() at the end of loss.backward().
+  sim::Time backward_complete();
+
+  /// check_activation(i): turns DBA on once `step` reaches act_aft_steps.
+  /// Returns true if DBA is active for the upcoming parameter transfer.
+  bool check_activation(std::size_t step);
+
+  /// The CPU optimizer writes updated parameters; each line is pushed to
+  /// the giant cache (trimmed by the Aggregator when DBA is active).
+  void cpu_write_parameters(mem::Addr base, std::span<const float> values);
+
+  /// CXLFENCE() + once-per-iteration CPU cache flush at the end of
+  /// optimizer.step().
+  sim::Time optimizer_step_complete();
+
+  // --- Data access (coherent loads) ---
+
+  /// Accelerator load of parameters. Under the update protocol this hits
+  /// the giant cache locally (post-merge contents); under invalidation it
+  /// demand-fetches stale lines across the link, advancing now().
+  std::vector<float> device_read_parameters(mem::Addr base,
+                                            std::size_t count);
+  /// CPU load of gradients; symmetric semantics.
+  std::vector<float> cpu_read_gradients(mem::Addr base, std::size_t count);
+
+  // --- Introspection ---
+  sim::Time now() const { return now_; }
+  bool dba_active() const { return dba_active_; }
+  const coherence::HomeAgentStats& stats() const { return agent_->stats(); }
+  const cxl::Link& link() const { return *link_; }
+  const coherence::GiantCache& giant_cache() const { return *gc_; }
+  const sim::Trace& trace() const { return trace_; }
+  const SessionConfig& config() const { return cfg_; }
+
+ private:
+  SessionConfig cfg_;
+  sim::Trace trace_;
+  std::unique_ptr<cxl::Link> link_;
+  std::unique_ptr<coherence::GiantCache> gc_;
+  std::unique_ptr<mem::Cache> cpu_cache_;
+  mem::BackingStore cpu_mem_;
+  mem::BackingStore device_mem_;
+  std::unique_ptr<coherence::HomeAgent> agent_;
+  mem::Addr next_alloc_ = 0x1000'0000;  ///< Bump allocator, line-aligned.
+  sim::Time now_ = 0.0;
+  bool dba_active_ = false;
+};
+
+}  // namespace teco::core

@@ -1,0 +1,43 @@
+// TECO — Tensor-CXL-Offload: umbrella public header.
+//
+// Reproduction of "Efficient Tensor Offloading for Large Deep-Learning
+// Model Training based on Compute Express Link" (SC 2024). Include this to
+// get the full public API; individual headers are also stable entry points.
+#pragma once
+
+#include "coherence/giant_cache.hpp"   // IWYU pragma: export
+#include "coherence/home_agent.hpp"    // IWYU pragma: export
+#include "coherence/mesi.hpp"          // IWYU pragma: export
+#include "compress/lz4.hpp"            // IWYU pragma: export
+#include "compress/quant_model.hpp"    // IWYU pragma: export
+#include "core/autotune.hpp"           // IWYU pragma: export
+#include "core/config.hpp"             // IWYU pragma: export
+#include "core/gantt.hpp"              // IWYU pragma: export
+#include "core/report.hpp"             // IWYU pragma: export
+#include "core/session.hpp"            // IWYU pragma: export
+#include "cxl/event_channel.hpp"       // IWYU pragma: export
+#include "cxl/flit.hpp"                // IWYU pragma: export
+#include "cxl/link.hpp"                // IWYU pragma: export
+#include "cxl/reliability.hpp"         // IWYU pragma: export
+#include "dba/aggregator.hpp"          // IWYU pragma: export
+#include "dba/disaggregator.hpp"       // IWYU pragma: export
+#include "dl/attention.hpp"            // IWYU pragma: export
+#include "dl/dba_training.hpp"         // IWYU pragma: export
+#include "dl/fp16.hpp"                 // IWYU pragma: export
+#include "dl/gnn.hpp"                  // IWYU pragma: export
+#include "dl/model_zoo.hpp"            // IWYU pragma: export
+#include "md/lj_system.hpp"            // IWYU pragma: export
+#include "md/offload_md.hpp"           // IWYU pragma: export
+#include "mem/hierarchy.hpp"           // IWYU pragma: export
+#include "offload/experiments.hpp"     // IWYU pragma: export
+#include "offload/multi_device.hpp"    // IWYU pragma: export
+#include "offload/runtime.hpp"         // IWYU pragma: export
+#include "offload/trace_replay.hpp"    // IWYU pragma: export
+
+namespace teco {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace teco

@@ -1,0 +1,82 @@
+// One direction of the serial CXL link.
+//
+// The paper's emulator treats CXL as a serial bus: "updated cache lines ...
+// are going through the link one after another in a stream manner", gated by
+// a 128-entry pending queue in the CXL controller (Section VIII-A). The
+// channel is therefore an order-preserving serializer with queue-depth
+// backpressure, implemented in closed form: each submission records when the
+// producer could actually hand the packet over (stall if the queue is full),
+// when the wire finishes it, and when it lands (plus propagation latency).
+// This handles tens of millions of line-grain submissions without an event
+// per packet.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "cxl/packet.hpp"
+#include "cxl/phy.hpp"
+#include "sim/time.hpp"
+
+namespace teco::cxl {
+
+struct ChannelStats {
+  std::uint64_t packets = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  sim::Time busy_time = 0.0;        ///< Wire occupancy.
+  sim::Time producer_stall = 0.0;   ///< Time producers waited on a full queue.
+  std::uint64_t stalled_packets = 0;
+  sim::Time last_finish = 0.0;      ///< Wire-finish of the latest packet.
+  sim::Time last_delivery = 0.0;    ///< Arrival (finish + latency).
+};
+
+struct Delivery {
+  sim::Time accepted;   ///< When the producer's submission was accepted.
+  sim::Time finished;   ///< When the wire finished transmitting.
+  sim::Time delivered;  ///< finished + propagation latency.
+};
+
+class Channel {
+ public:
+  Channel(std::string name, sim::Bandwidth bandwidth, sim::Time latency,
+          std::size_t queue_capacity = 128);
+
+  /// Submit a packet that becomes ready at `t_ready`. Returns the timing of
+  /// its acceptance/transmission/delivery. Submissions must be made in
+  /// nondecreasing `t_ready` order per producer; the channel itself imposes
+  /// FIFO wire order on whatever it is given.
+  Delivery submit(sim::Time t_ready, const Packet& pkt);
+
+  /// Bulk submission of `count` identical packets (a homogeneous stream).
+  /// Equivalent to calling submit() `count` times but O(1); valid because
+  /// for a saturated FIFO the k-th completion is start + k * per_packet.
+  Delivery submit_stream(sim::Time t_ready, const Packet& pkt,
+                         std::uint64_t count);
+
+  /// Earliest time by which everything submitted so far has been delivered.
+  sim::Time drain_time() const { return stats_.last_delivery; }
+
+  const ChannelStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  sim::Bandwidth bandwidth() const { return bandwidth_; }
+
+  void reset();
+
+ private:
+  sim::Time queue_admission(sim::Time t_ready);
+  void record_finish(sim::Time finish);
+
+  std::string name_;
+  sim::Bandwidth bandwidth_;
+  sim::Time latency_;
+  std::size_t capacity_;
+  /// Wire-finish times of up to `capacity_` most recent packets, oldest
+  /// first; the front is the packet whose completion frees a queue slot.
+  std::deque<sim::Time> inflight_finish_;
+  sim::Time wire_free_ = 0.0;
+  ChannelStats stats_;
+};
+
+}  // namespace teco::cxl

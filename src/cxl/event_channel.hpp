@@ -1,0 +1,57 @@
+// Event-driven facade over the serial channel.
+//
+// The Channel computes timings in closed form; some consumers want
+// *callbacks* instead — e.g. a simulation where the CPU optimizer reacts
+// to gradient arrivals, or tooling that traces deliveries as events. The
+// EventChannel schedules each delivery on a sim::EventQueue so downstream
+// logic runs at the right simulated instants, while the underlying timing
+// stays bit-identical to Channel's.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "cxl/channel.hpp"
+#include "sim/event_queue.hpp"
+
+namespace teco::cxl {
+
+class EventChannel {
+ public:
+  using DeliveryFn = std::function<void(const Packet&, const Delivery&)>;
+
+  EventChannel(sim::EventQueue& queue, std::string name,
+               sim::Bandwidth bandwidth, sim::Time latency,
+               std::size_t queue_capacity = 128)
+      : queue_(queue),
+        channel_(std::move(name), bandwidth, latency, queue_capacity) {}
+
+  /// Submit a packet that becomes ready at `t_ready` (>= queue.now());
+  /// `on_delivered` fires as an event at the delivery instant.
+  Delivery submit(sim::Time t_ready, const Packet& pkt,
+                  DeliveryFn on_delivered = {}) {
+    const Delivery d = channel_.submit(t_ready, pkt);
+    if (on_delivered) {
+      queue_.schedule_at(d.delivered,
+                         [pkt, d, fn = std::move(on_delivered)] {
+                           fn(pkt, d);
+                         });
+    }
+    return d;
+  }
+
+  /// Schedule `fn` when everything submitted so far has been delivered —
+  /// the event-driven CXLFENCE().
+  void on_drained(std::function<void()> fn) {
+    queue_.schedule_at(channel_.drain_time(), std::move(fn));
+  }
+
+  const Channel& channel() const { return channel_; }
+  sim::EventQueue& queue() { return queue_; }
+
+ private:
+  sim::EventQueue& queue_;
+  Channel channel_;
+};
+
+}  // namespace teco::cxl

@@ -1,0 +1,38 @@
+#include "cxl/flit.hpp"
+
+namespace teco::cxl {
+
+std::uint64_t FlitCodec::slots_for_payload(std::uint32_t payload_bytes) const {
+  return (payload_bytes + cfg_.slot_bytes - 1) / cfg_.slot_bytes;
+}
+
+std::uint64_t FlitCodec::flits_for_slots(std::uint64_t slots) const {
+  return (slots + cfg_.slots_per_flit - 1) / cfg_.slots_per_flit;
+}
+
+std::uint64_t FlitCodec::wire_bytes_for_burst(
+    std::uint64_t n, std::uint32_t payload_bytes) const {
+  if (n == 0) return 0;
+  const std::uint64_t data_slots = n * slots_for_payload(payload_bytes);
+  const std::uint64_t header_slots =
+      (n + cfg_.messages_per_header - 1) / cfg_.messages_per_header;
+  const std::uint64_t flits = flits_for_slots(data_slots + header_slots);
+  return flits * cfg_.flit_wire_bytes();
+}
+
+std::uint64_t FlitCodec::wire_bytes_for_control(std::uint64_t n) const {
+  if (n == 0) return 0;
+  return flits_for_slots(n) * cfg_.flit_wire_bytes();
+}
+
+double FlitCodec::data_efficiency(std::uint32_t payload_bytes) const {
+  // Evaluate over a long burst so per-flit rounding amortizes away.
+  constexpr std::uint64_t kBurst = 1 << 20;
+  const double payload =
+      static_cast<double>(kBurst) * payload_bytes;
+  const double wire =
+      static_cast<double>(wire_bytes_for_burst(kBurst, payload_bytes));
+  return payload / wire * cfg_.phy_encoding;
+}
+
+}  // namespace teco::cxl

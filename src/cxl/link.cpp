@@ -1,0 +1,2 @@
+// Link is header-only today; this TU anchors the library target.
+#include "cxl/link.hpp"

@@ -1,0 +1,89 @@
+// Full-duplex CXL link: one serial channel per direction plus CXLFENCE.
+//
+// PCIe (and therefore CXL) is full duplex, so CPU->device parameter pushes
+// and device->CPU gradient writebacks never contend with each other; each
+// direction carries the PhyConfig CXL bandwidth. CXLFENCE() (Section IV-A2)
+// resolves to the drain time of the fenced direction: the earliest instant
+// by which every previously submitted coherence packet has been delivered.
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/channel.hpp"
+#include "cxl/packet.hpp"
+#include "cxl/phy.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace teco::cxl {
+
+enum class Direction : std::uint8_t {
+  kCpuToDevice,
+  kDeviceToCpu,
+};
+
+class Link {
+ public:
+  explicit Link(const PhyConfig& phy = {}, std::size_t queue_capacity = 128)
+      : phy_(phy),
+        down_("cpu->dev", phy.cxl_bandwidth(), phy.packet_latency,
+              queue_capacity),
+        up_("dev->cpu", phy.cxl_bandwidth(), phy.packet_latency,
+            queue_capacity) {}
+
+  Delivery send(Direction dir, sim::Time t_ready, const Packet& pkt) {
+    count(pkt, 1);
+    return channel(dir).submit(t_ready, pkt);
+  }
+
+  Delivery send_stream(Direction dir, sim::Time t_ready, const Packet& pkt,
+                       std::uint64_t n) {
+    count(pkt, n);
+    return channel(dir).submit_stream(t_ready, pkt, n);
+  }
+
+  /// CXLFENCE(): completion time of all in-flight traffic in `dir`,
+  /// observed at `now`.
+  sim::Time fence(Direction dir, sim::Time now) const {
+    const sim::Time drain = channel(dir).drain_time();
+    return drain > now ? drain : now;
+  }
+
+  /// Fence both directions.
+  sim::Time fence_all(sim::Time now) const {
+    return fence(Direction::kDeviceToCpu,
+                 fence(Direction::kCpuToDevice, now));
+  }
+
+  Channel& channel(Direction dir) {
+    return dir == Direction::kCpuToDevice ? down_ : up_;
+  }
+  const Channel& channel(Direction dir) const {
+    return dir == Direction::kCpuToDevice ? down_ : up_;
+  }
+
+  const PhyConfig& phy() const { return phy_; }
+  const sim::CounterSet& message_counts() const { return message_counts_; }
+
+  std::uint64_t total_wire_bytes() const {
+    return down_.stats().wire_bytes + up_.stats().wire_bytes;
+  }
+
+  void reset() {
+    down_.reset();
+    up_.reset();
+    message_counts_.reset();
+  }
+
+ private:
+  void count(const Packet& pkt, std::uint64_t n) {
+    message_counts_.add(std::string(to_string(pkt.type)), n);
+  }
+
+  PhyConfig phy_;
+  Channel down_;
+  Channel up_;
+  sim::CounterSet message_counts_;
+};
+
+}  // namespace teco::cxl

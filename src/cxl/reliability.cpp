@@ -1,0 +1,28 @@
+#include "cxl/reliability.hpp"
+
+#include <cmath>
+
+namespace teco::cxl {
+
+double RetryModel::flit_error_probability(const FlitConfig& flit) const {
+  const double bits = static_cast<double>(flit.flit_wire_bytes()) * 8.0;
+  // 1 - (1-ber)^bits, computed stably for tiny ber.
+  return -std::expm1(bits * std::log1p(-bit_error_rate));
+}
+
+double RetryModel::expected_transmissions(const FlitConfig& flit) const {
+  const double p = flit_error_probability(flit);
+  return 1.0 / (1.0 - p);
+}
+
+double RetryModel::throughput_derate(const FlitConfig& flit) const {
+  return 1.0 / expected_transmissions(flit);
+}
+
+sim::Time RetryModel::expected_retry_latency(const FlitConfig& flit) const {
+  const double p = flit_error_probability(flit);
+  // Expected number of retry round trips per flit: p / (1 - p).
+  return retry_round_trip * (p / (1.0 - p));
+}
+
+}  // namespace teco::cxl

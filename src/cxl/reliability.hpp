@@ -1,0 +1,36 @@
+// Link-layer reliability: CRC-triggered flit retry.
+//
+// CXL protects every flit with a CRC; a corrupted flit is retransmitted
+// from the retry buffer (link-level retry, like PCIe's). At the spec's
+// raw bit-error-rate target (1e-12) retries are vanishingly rare, which is
+// why the performance model ignores them — this module quantifies that
+// claim and lets the ablation bench sweep the BER to find where retries
+// would start to matter.
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/flit.hpp"
+#include "sim/time.hpp"
+
+namespace teco::cxl {
+
+struct RetryModel {
+  double bit_error_rate = 1e-12;  ///< PCIe gen3 spec target.
+  /// Round-trip of the retry handshake (NAK + replay).
+  sim::Time retry_round_trip = sim::us(1.0);
+
+  /// Probability that one flit arrives corrupted.
+  double flit_error_probability(const FlitConfig& flit = {}) const;
+
+  /// Expected transmissions per flit (>= 1).
+  double expected_transmissions(const FlitConfig& flit = {}) const;
+
+  /// Effective throughput derate: goodput / raw throughput in (0, 1].
+  double throughput_derate(const FlitConfig& flit = {}) const;
+
+  /// Expected extra latency per flit from retries.
+  sim::Time expected_retry_latency(const FlitConfig& flit = {}) const;
+};
+
+}  // namespace teco::cxl

@@ -1,0 +1,24 @@
+#include "dba/aggregator.hpp"
+
+namespace teco::dba {
+
+std::vector<std::uint8_t> Aggregator::pack(
+    const mem::BackingStore::Line& line) const {
+  ++lines_processed_;
+  if (!reg_.trims()) {
+    return std::vector<std::uint8_t>(line.begin(), line.end());
+  }
+  const std::uint8_t n = reg_.dirty_bytes();
+  std::vector<std::uint8_t> payload;
+  payload.reserve(payload_bytes(n));
+  for (std::size_t w = 0; w < mem::kWordsPerLine; ++w) {
+    // Little-endian FP32: the least significant N bytes are the first N
+    // bytes of the word in memory order.
+    for (std::uint8_t b = 0; b < n; ++b) {
+      payload.push_back(line[w * 4 + b]);
+    }
+  }
+  return payload;
+}
+
+}  // namespace teco::dba

@@ -1,0 +1,58 @@
+// CPU-side Aggregator (Section V-B).
+//
+// For each FP32 word of a 64-byte cache line, take the least significant
+// `dirty_bytes` bytes and concatenate them into a payload of
+// 16 * dirty_bytes bytes. FP32 values are little-endian in memory, so the
+// "least significant two bytes" of the paper are byte offsets 0..N-1 of each
+// word. Processing latency per line is ~1.28 ns scaled (Section VIII-D);
+// the end-to-end model charges the conservative 1 ns per the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dba/dba_register.hpp"
+#include "mem/backing_store.hpp"
+#include "sim/time.hpp"
+
+namespace teco::dba {
+
+/// Payload size produced for one 64-byte line at a given dirty-byte length.
+constexpr std::uint32_t payload_bytes(std::uint8_t dirty_bytes) {
+  return static_cast<std::uint32_t>(mem::kWordsPerLine) * dirty_bytes;
+}
+
+/// ASIC-scaled processing latencies from the Vivado synthesis (VIII-D).
+inline constexpr sim::Time kAggregatorLatency = sim::ns(1.28);
+inline constexpr sim::Time kDisaggregatorLatency = sim::ns(1.126);
+/// The end-to-end performance model charges this per line (paper's choice).
+inline constexpr sim::Time kModeledDbaLatency = sim::ns(1.0);
+/// Synthesized, FPGA->ASIC-scaled power (W).
+inline constexpr double kAggregatorPowerW = 0.0127;
+inline constexpr double kDisaggregatorPowerW = 0.017;
+
+class Aggregator {
+ public:
+  explicit Aggregator(DbaRegister reg = {}) : reg_(reg) {}
+
+  void set_register(DbaRegister reg) { reg_ = reg; }
+  DbaRegister reg() const { return reg_; }
+
+  /// Pack one 64-byte line. If DBA is inactive (or dirty_bytes == 4) the
+  /// full line is returned unchanged (the "bypass" path).
+  std::vector<std::uint8_t> pack(const mem::BackingStore::Line& line) const;
+
+  /// Wire payload size for one line under the current register.
+  std::uint32_t packed_bytes() const {
+    return reg_.trims() ? payload_bytes(reg_.dirty_bytes())
+                        : static_cast<std::uint32_t>(mem::kLineBytes);
+  }
+
+  std::uint64_t lines_processed() const { return lines_processed_; }
+
+ private:
+  DbaRegister reg_;
+  mutable std::uint64_t lines_processed_ = 0;
+};
+
+}  // namespace teco::dba

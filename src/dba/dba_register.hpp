@@ -1,0 +1,46 @@
+// The 4-bit DBA configuration register (Section V-B).
+//
+// Bit 3 (msb) activates dirty-byte aggregation; bits 2..0 encode the dirty
+// byte length per 4-byte word (0..4). The paper's example: dirty_bytes = 2
+// active => 1010b. The register lives in the CPU CXL module and is mirrored
+// to the accelerator CXL module via a kDbaConfig message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace teco::dba {
+
+class DbaRegister {
+ public:
+  constexpr DbaRegister() = default;
+
+  constexpr DbaRegister(bool active, std::uint8_t dirty_bytes)
+      : active_(active), dirty_bytes_(dirty_bytes) {
+    if (dirty_bytes > 4) throw std::invalid_argument("dirty_bytes in [0,4]");
+  }
+
+  static constexpr DbaRegister decode(std::uint8_t bits) {
+    return DbaRegister((bits & 0b1000u) != 0,
+                       static_cast<std::uint8_t>(bits & 0b0111u));
+  }
+
+  constexpr std::uint8_t encode() const {
+    return static_cast<std::uint8_t>((active_ ? 0b1000u : 0u) |
+                                     (dirty_bytes_ & 0b0111u));
+  }
+
+  constexpr bool active() const { return active_; }
+  constexpr std::uint8_t dirty_bytes() const { return dirty_bytes_; }
+
+  /// DBA only trims when active and trimming fewer than all 4 bytes.
+  constexpr bool trims() const { return active_ && dirty_bytes_ < 4; }
+
+  constexpr bool operator==(const DbaRegister&) const = default;
+
+ private:
+  bool active_ = false;
+  std::uint8_t dirty_bytes_ = 2;
+};
+
+}  // namespace teco::dba

@@ -1,0 +1,384 @@
+#include "dl/attention.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace teco::dl {
+
+namespace {
+/// y[T,N] = x[T,M] * w^T + optional bias, for one sample's rows.
+void matmul_rows(const float* x, std::size_t t, std::size_t m,
+                 const float* w, std::size_t n, const float* bias,
+                 float* y) {
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = bias != nullptr ? bias[j] : 0.0f;
+      for (std::size_t kk = 0; kk < m; ++kk) {
+        acc += x[i * m + kk] * w[j * m + kk];
+      }
+      y[i * n + j] = acc;
+    }
+  }
+}
+}  // namespace
+
+TinyTransformer::TinyTransformer(TransformerConfig cfg) : cfg_(cfg) {
+  const std::size_t d = cfg_.d_model, f = cfg_.d_ff, o = cfg_.out_dim;
+  if (d == 0 || f == 0 || o == 0 || cfg_.seq_len == 0) {
+    throw std::invalid_argument("transformer dims must be nonzero");
+  }
+  std::size_t off = 0;
+  auto take = [&](std::size_t count) {
+    const std::size_t at = off;
+    off += count;
+    return at;
+  };
+  lay_.wq = take(d * d);
+  lay_.wk = take(d * d);
+  lay_.wv = take(d * d);
+  lay_.wo = take(d * d);
+  lay_.w1 = take(f * d);
+  lay_.b1 = take(f);
+  lay_.w2 = take(d * f);
+  lay_.b2 = take(d);
+  lay_.wr = take(o * d);
+  lay_.br = take(o);
+  lay_.total = off;
+
+  params_.resize(lay_.total);
+  grads_.resize(lay_.total, 0.0f);
+  sim::Rng rng(cfg_.seed);
+  auto init_block = [&](std::size_t at, std::size_t count, std::size_t fanin) {
+    const float scale =
+        cfg_.init_stddev / std::sqrt(static_cast<float>(fanin));
+    for (std::size_t i = 0; i < count; ++i) {
+      params_[at + i] = static_cast<float>(rng.next_gaussian()) * scale;
+    }
+  };
+  init_block(lay_.wq, d * d, d);
+  init_block(lay_.wk, d * d, d);
+  init_block(lay_.wv, d * d, d);
+  init_block(lay_.wo, d * d, d);
+  init_block(lay_.w1, f * d, d);
+  init_block(lay_.w2, d * f, f);
+  init_block(lay_.wr, o * d, d);
+  // Biases start at zero (resize already did).
+}
+
+const Tensor& TinyTransformer::forward(const Tensor& x) {
+  const std::size_t t = cfg_.seq_len, d = cfg_.d_model, f = cfg_.d_ff,
+                    o = cfg_.out_dim;
+  if (x.cols() != t * d) {
+    throw std::invalid_argument("input dim must equal seq_len * d_model");
+  }
+  batch_ = x.rows();
+  const std::size_t rows = batch_ * t;
+  x_ = Tensor(rows, d);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t i = 0; i < t * d; ++i) {
+      x_.flat()[b * t * d + i] = x.at(b, i);
+    }
+  }
+  q_ = Tensor(rows, d);
+  k_ = Tensor(rows, d);
+  v_ = Tensor(rows, d);
+  p_ = Tensor(rows, t);
+  h_ = Tensor(rows, d);
+  r1_ = Tensor(rows, d);
+  z_ = Tensor(rows, f);
+  r2_ = Tensor(rows, d);
+  pooled_ = Tensor(batch_, d);
+  out_ = Tensor(batch_, o);
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const float* xb = x_.data() + b * t * d;
+    float* qb = q_.data() + b * t * d;
+    float* kb = k_.data() + b * t * d;
+    float* vb = v_.data() + b * t * d;
+    matmul_rows(xb, t, d, params_.data() + lay_.wq, d, nullptr, qb);
+    matmul_rows(xb, t, d, params_.data() + lay_.wk, d, nullptr, kb);
+    matmul_rows(xb, t, d, params_.data() + lay_.wv, d, nullptr, vb);
+
+    // P = softmax(Q K^T / sqrt(d)), row per query position.
+    float* pb = p_.data() + b * t * t;
+    for (std::size_t i = 0; i < t; ++i) {
+      float mx = -1e30f;
+      for (std::size_t j = 0; j < t; ++j) {
+        float s = 0.0f;
+        for (std::size_t e = 0; e < d; ++e) {
+          s += qb[i * d + e] * kb[j * d + e];
+        }
+        s *= inv_sqrt_d;
+        pb[i * t + j] = s;
+        mx = std::max(mx, s);
+      }
+      float zsum = 0.0f;
+      for (std::size_t j = 0; j < t; ++j) {
+        pb[i * t + j] = std::exp(pb[i * t + j] - mx);
+        zsum += pb[i * t + j];
+      }
+      for (std::size_t j = 0; j < t; ++j) pb[i * t + j] /= zsum;
+    }
+
+    // H = P V ; R1 = X + H Wo.
+    float* hb = h_.data() + b * t * d;
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < t; ++j) {
+          acc += pb[i * t + j] * vb[j * d + e];
+        }
+        hb[i * d + e] = acc;
+      }
+    }
+    float* r1b = r1_.data() + b * t * d;
+    matmul_rows(hb, t, d, params_.data() + lay_.wo, d, nullptr, r1b);
+    for (std::size_t i = 0; i < t * d; ++i) r1b[i] += xb[i];
+
+    // MLP with residual.
+    float* zb = z_.data() + b * t * f;
+    matmul_rows(r1b, t, d, params_.data() + lay_.w1, f,
+                params_.data() + lay_.b1, zb);
+    for (std::size_t i = 0; i < t * f; ++i) zb[i] = std::tanh(zb[i]);
+    float* r2b = r2_.data() + b * t * d;
+    matmul_rows(zb, t, f, params_.data() + lay_.w2, d,
+                params_.data() + lay_.b2, r2b);
+    for (std::size_t i = 0; i < t * d; ++i) r2b[i] += r1b[i];
+
+    // Mean-pool + readout.
+    for (std::size_t e = 0; e < d; ++e) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < t; ++i) acc += r2b[i * d + e];
+      pooled_.at(b, e) = acc / static_cast<float>(t);
+    }
+    matmul_rows(pooled_.data() + b * d, 1, d, params_.data() + lay_.wr, o,
+                params_.data() + lay_.br, out_.data() + b * o);
+  }
+  return out_;
+}
+
+float TinyTransformer::backward(const Tensor& targets) {
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+  const std::size_t t = cfg_.seq_len, d = cfg_.d_model, f = cfg_.d_ff,
+                    o = cfg_.out_dim;
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+  // Loss gradient w.r.t. the readout, per sample.
+  Tensor dout(batch_, o);
+  double loss = 0.0;
+  if (cfg_.output == OutputKind::kRegression) {
+    assert(targets.rows() == batch_ && targets.cols() == o);
+    const double inv = 1.0 / static_cast<double>(batch_ * o);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < o; ++j) {
+        const float diff = out_.at(b, j) - targets.at(b, j);
+        loss += static_cast<double>(diff) * diff * inv;
+        dout.at(b, j) = static_cast<float>(2.0 * inv) * diff;
+      }
+    }
+  } else {
+    assert(targets.rows() == batch_ && targets.cols() == 1);
+    const double invb = 1.0 / static_cast<double>(batch_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      float mx = out_.at(b, 0);
+      for (std::size_t j = 1; j < o; ++j) mx = std::max(mx, out_.at(b, j));
+      double zsum = 0.0;
+      for (std::size_t j = 0; j < o; ++j) {
+        zsum += std::exp(static_cast<double>(out_.at(b, j) - mx));
+      }
+      const auto label = static_cast<std::size_t>(targets.at(b, 0));
+      for (std::size_t j = 0; j < o; ++j) {
+        const double pr =
+            std::exp(static_cast<double>(out_.at(b, j) - mx)) / zsum;
+        dout.at(b, j) =
+            static_cast<float>((pr - (j == label ? 1.0 : 0.0)) * invb);
+        if (j == label) loss -= std::log(std::max(pr, 1e-12)) * invb;
+      }
+    }
+  }
+
+  // Scratch buffers reused per sample.
+  std::vector<float> dr2(t * d), dz(t * f), dpre(t * f), dr1(t * d);
+  std::vector<float> dh(t * d), dp(t * t), ds(t * t), dq(t * d), dk(t * d),
+      dv(t * d);
+
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const float* xb = x_.data() + b * t * d;
+    const float* qb = q_.data() + b * t * d;
+    const float* kb = k_.data() + b * t * d;
+    const float* vb = v_.data() + b * t * d;
+    const float* pb = p_.data() + b * t * t;
+    const float* hb = h_.data() + b * t * d;
+    const float* r1b = r1_.data() + b * t * d;
+    const float* zb = z_.data() + b * t * f;
+
+    // Readout: out = pooled Wr^T + br.
+    const float* pooled = pooled_.data() + b * d;
+    for (std::size_t j = 0; j < o; ++j) {
+      const float g = dout.at(b, j);
+      G(lay_.br, o)[j] += g;
+      for (std::size_t e = 0; e < d; ++e) {
+        G(lay_.wr, o * d)[j * d + e] += g * pooled[e];
+      }
+    }
+    // dpooled -> spread uniformly over positions (mean pool).
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < o; ++j) {
+          acc += dout.at(b, j) * params_[lay_.wr + j * d + e];
+        }
+        dr2[i * d + e] = acc / static_cast<float>(t);
+      }
+    }
+
+    // MLP backward: R2 = R1 + (tanh(R1 W1 + b1) W2 + b2).
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t ff = 0; ff < f; ++ff) {
+        float acc = 0.0f;
+        for (std::size_t e = 0; e < d; ++e) {
+          acc += dr2[i * d + e] * params_[lay_.w2 + e * f + ff];
+        }
+        dz[i * f + ff] = acc;
+        const float zz = zb[i * f + ff];
+        dpre[i * f + ff] = acc * (1.0f - zz * zz);
+      }
+    }
+    for (std::size_t e = 0; e < d; ++e) {
+      for (std::size_t i = 0; i < t; ++i) {
+        G(lay_.b2, d)[e] += dr2[i * d + e];
+        for (std::size_t ff = 0; ff < f; ++ff) {
+          G(lay_.w2, d * f)[e * f + ff] += dr2[i * d + e] * zb[i * f + ff];
+        }
+      }
+    }
+    for (std::size_t ff = 0; ff < f; ++ff) {
+      for (std::size_t i = 0; i < t; ++i) {
+        G(lay_.b1, f)[ff] += dpre[i * f + ff];
+        for (std::size_t e = 0; e < d; ++e) {
+          G(lay_.w1, f * d)[ff * d + e] += dpre[i * f + ff] * r1b[i * d + e];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = dr2[i * d + e];  // Residual path.
+        for (std::size_t ff = 0; ff < f; ++ff) {
+          acc += dpre[i * f + ff] * params_[lay_.w1 + ff * d + e];
+        }
+        dr1[i * d + e] = acc;
+      }
+    }
+
+    // Attention output: R1 = X + H Wo^T (rows convention of matmul_rows).
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t i = 0; i < t; ++i) {
+        for (std::size_t e = 0; e < d; ++e) {
+          G(lay_.wo, d * d)[j * d + e] += dr1[i * d + j] * hb[i * d + e];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < d; ++j) {
+          acc += dr1[i * d + j] * params_[lay_.wo + j * d + e];
+        }
+        dh[i * d + e] = acc;
+      }
+    }
+
+    // H = P V.
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t j = 0; j < t; ++j) {
+        float acc = 0.0f;
+        for (std::size_t e = 0; e < d; ++e) {
+          acc += dh[i * d + e] * vb[j * d + e];
+        }
+        dp[i * t + j] = acc;
+      }
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < t; ++i) {
+          acc += pb[i * t + j] * dh[i * d + e];
+        }
+        dv[j * d + e] = acc;
+      }
+    }
+
+    // Softmax rows: dS = P * (dP - sum(dP * P)).
+    for (std::size_t i = 0; i < t; ++i) {
+      float dot = 0.0f;
+      for (std::size_t j = 0; j < t; ++j) {
+        dot += dp[i * t + j] * pb[i * t + j];
+      }
+      for (std::size_t j = 0; j < t; ++j) {
+        ds[i * t + j] = pb[i * t + j] * (dp[i * t + j] - dot);
+      }
+    }
+
+    // S = Q K^T / sqrt(d).
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < t; ++j) {
+          acc += ds[i * t + j] * kb[j * d + e];
+        }
+        dq[i * d + e] = acc * inv_sqrt_d;
+      }
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      for (std::size_t e = 0; e < d; ++e) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < t; ++i) {
+          acc += ds[i * t + j] * qb[i * d + e];
+        }
+        dk[j * d + e] = acc * inv_sqrt_d;
+      }
+    }
+
+    // Q|K|V = X Wq|Wk|Wv (rows convention).
+    auto accum_proj = [&](std::size_t w_off, const std::vector<float>& dy) {
+      for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t i = 0; i < t; ++i) {
+          for (std::size_t e = 0; e < d; ++e) {
+            G(w_off, d * d)[j * d + e] += dy[i * d + j] * xb[i * d + e];
+          }
+        }
+      }
+    };
+    accum_proj(lay_.wq, dq);
+    accum_proj(lay_.wk, dk);
+    accum_proj(lay_.wv, dv);
+  }
+  return static_cast<float>(loss);
+}
+
+float TinyTransformer::accuracy(const Tensor& targets) const {
+  if (cfg_.output != OutputKind::kClassification || out_.rows() == 0) {
+    return 0.0f;
+  }
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < out_.rows(); ++b) {
+    std::size_t argmax = 0;
+    for (std::size_t j = 1; j < out_.cols(); ++j) {
+      if (out_.at(b, j) > out_.at(b, argmax)) argmax = j;
+    }
+    if (argmax == static_cast<std::size_t>(targets.at(b, 0))) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(out_.rows());
+}
+
+void TinyTransformer::load_params(std::span<const float> p) {
+  if (p.size() != params_.size()) {
+    throw std::invalid_argument("parameter size mismatch");
+  }
+  std::copy(p.begin(), p.end(), params_.begin());
+}
+
+}  // namespace teco::dl

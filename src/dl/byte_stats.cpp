@@ -1,0 +1,46 @@
+#include "dl/byte_stats.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace teco::dl {
+
+ByteChangeStats& ByteChangeStats::operator+=(const ByteChangeStats& o) {
+  total += o.total;
+  unchanged += o.unchanged;
+  last_byte_only += o.last_byte_only;
+  last_two_bytes += o.last_two_bytes;
+  other += o.other;
+  return *this;
+}
+
+ByteChangeCase classify_change(float prev, float curr) {
+  std::uint32_t a, b;
+  std::memcpy(&a, &prev, 4);
+  std::memcpy(&b, &curr, 4);
+  const std::uint32_t diff = a ^ b;
+  if (diff == 0) return ByteChangeCase::kUnchanged;
+  if ((diff & 0xFFFFFF00u) == 0) return ByteChangeCase::kLastByteOnly;
+  if ((diff & 0xFFFF0000u) == 0) return ByteChangeCase::kLastTwoBytes;
+  return ByteChangeCase::kOther;
+}
+
+ByteChangeStats compare_arrays(std::span<const float> prev,
+                               std::span<const float> curr) {
+  if (prev.size() != curr.size()) {
+    throw std::invalid_argument("array sizes must match");
+  }
+  ByteChangeStats s;
+  s.total = prev.size();
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    switch (classify_change(prev[i], curr[i])) {
+      case ByteChangeCase::kUnchanged: ++s.unchanged; break;
+      case ByteChangeCase::kLastByteOnly: ++s.last_byte_only; break;
+      case ByteChangeCase::kLastTwoBytes: ++s.last_two_bytes; break;
+      case ByteChangeCase::kOther: ++s.other; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace teco::dl

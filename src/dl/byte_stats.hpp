@@ -1,0 +1,62 @@
+// Value-changed-byte instrumentation (Section III, Fig. 2).
+//
+// For each FP32 value, compare its 4 bytes against the previous training
+// step and classify the change:
+//   Case 1 — only the least significant byte changed,
+//   Case 2 — only the least significant two bytes changed,
+//   Other  — any other distribution of changed bytes,
+//   Unchanged — bit-identical.
+// The paper's Observation 2: ~80 % of changed parameters are Case 1/2 and
+// 44.5 % of parameters are unchanged across some consecutive steps, while
+// gradients show no stable pattern — which is why DBA applies to parameters
+// only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace teco::dl {
+
+struct ByteChangeStats {
+  std::uint64_t total = 0;
+  std::uint64_t unchanged = 0;
+  std::uint64_t last_byte_only = 0;    ///< Case 1.
+  std::uint64_t last_two_bytes = 0;    ///< Case 2 (exactly: changed bytes ⊆ low 2, not Case 1).
+  std::uint64_t other = 0;
+
+  std::uint64_t changed() const { return total - unchanged; }
+  double frac_unchanged() const {
+    return total ? static_cast<double>(unchanged) / total : 0.0;
+  }
+  /// Fractions among *changed* values, as Fig. 2 plots them.
+  double frac_case1() const {
+    return changed() ? static_cast<double>(last_byte_only) / changed() : 0.0;
+  }
+  double frac_case2() const {
+    return changed() ? static_cast<double>(last_two_bytes) / changed() : 0.0;
+  }
+  double frac_other() const {
+    return changed() ? static_cast<double>(other) / changed() : 0.0;
+  }
+  /// Fraction of changed values whose update DBA(dirty_bytes=2) transfers
+  /// losslessly.
+  double frac_low2_covered() const { return frac_case1() + frac_case2(); }
+
+  ByteChangeStats& operator+=(const ByteChangeStats& o);
+};
+
+/// Classify one value pair.
+enum class ByteChangeCase : std::uint8_t {
+  kUnchanged,
+  kLastByteOnly,
+  kLastTwoBytes,
+  kOther,
+};
+ByteChangeCase classify_change(float prev, float curr);
+
+/// Compare two same-length FP32 arrays element-wise.
+ByteChangeStats compare_arrays(std::span<const float> prev,
+                               std::span<const float> curr);
+
+}  // namespace teco::dl

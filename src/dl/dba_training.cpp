@@ -1,0 +1,164 @@
+#include "dl/dba_training.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "dba/disaggregator.hpp"
+#include "dl/fp16.hpp"
+
+namespace teco::dl {
+
+namespace {
+
+Batch sample_task(const Task& task, std::size_t batch, sim::Rng& rng) {
+  return std::visit([&](const auto& t) { return t.sample(batch, rng); },
+                    task);
+}
+
+bool is_classification(const Task& task) {
+  return std::holds_alternative<ClassificationTask>(task);
+}
+
+}  // namespace
+
+Task make_regression_task(std::uint64_t seed) {
+  return Task{RegressionTask(16, 4, 0.05f, seed)};
+}
+
+Task make_classification_task(std::uint64_t seed) {
+  return Task{ClassificationTask(16, 10, 0.9f, seed)};
+}
+
+MlpConfig default_model_for(const Task& task, std::uint64_t seed) {
+  MlpConfig cfg;
+  cfg.seed = seed;
+  if (is_classification(task)) {
+    const auto& t = std::get<ClassificationTask>(task);
+    cfg.layer_sizes = {t.input_dim(), 64, 64, t.classes()};
+    cfg.output = OutputKind::kClassification;
+  } else {
+    const auto& t = std::get<RegressionTask>(task);
+    cfg.layer_sizes = {t.input_dim(), 64, 64, t.output_dim()};
+    cfg.output = OutputKind::kRegression;
+  }
+  return cfg;
+}
+
+TransformerConfig default_transformer_for(const Task& task,
+                                          std::uint64_t seed) {
+  TransformerConfig cfg;
+  cfg.seed = seed;
+  cfg.seq_len = 2;
+  cfg.d_ff = 64;
+  if (is_classification(task)) {
+    const auto& t = std::get<ClassificationTask>(task);
+    cfg.d_model = t.input_dim() / cfg.seq_len;
+    cfg.out_dim = t.classes();
+    cfg.output = OutputKind::kClassification;
+  } else {
+    const auto& t = std::get<RegressionTask>(task);
+    cfg.d_model = t.input_dim() / cfg.seq_len;
+    cfg.out_dim = t.output_dim();
+    cfg.output = OutputKind::kRegression;
+  }
+  return cfg;
+}
+
+TrainResult run_training(const Task& task, const TrainRunConfig& cfg) {
+  std::unique_ptr<ModelBase> model_holder;
+  if (cfg.transformer.has_value()) {
+    model_holder = std::make_unique<TinyTransformer>(*cfg.transformer);
+  } else {
+    model_holder = std::make_unique<Mlp>(cfg.model);
+  }
+  ModelBase& model = *model_holder;
+  const std::size_t n = model.n_params();
+
+  // Accelerator-side FP32 copy (giant-cache contents; DBA splices here)
+  // and the CPU-side exact FP32 master.
+  std::vector<float> accel(model.params().begin(), model.params().end());
+  std::vector<float> master = accel;
+  std::vector<float> prev_master = master;
+  std::vector<float> prev_grads(n, 0.0f);
+  std::vector<float> clipped(n, 0.0f);
+  std::vector<float> compute(n, 0.0f);
+
+  Adam adam(n, cfg.adam);
+  sim::Rng data_rng(cfg.data_seed);
+
+  TrainResult res;
+  res.steps_run = cfg.steps;
+
+  for (std::size_t step = 0; step < cfg.steps; ++step) {
+    // Accelerator: forward + backward on its (possibly DBA-stale) FP32
+    // copy; under mixed precision, the on-device FP16 conversion happens
+    // after the transfer (Section V), so compute sees rounded weights.
+    if (cfg.mixed_precision) {
+      compute = accel;
+      fp16_round_array(compute);
+      model.load_params(compute);
+    } else {
+      model.load_params(accel);
+    }
+    const Batch batch = sample_task(task, cfg.batch_size, data_rng);
+    model.forward(batch.inputs);
+    const float loss = model.backward(batch.targets);
+
+    // CPU: clip + Adam on the exact master copy (phases 4-5).
+    clipped.assign(model.grads().begin(), model.grads().end());
+    adam.clip_gradients(clipped);
+    adam.step(master, clipped);
+
+    // Parameter transfer CPU -> accelerator (always FP32 on the wire).
+    const bool dba_on = cfg.dba_enabled && step >= cfg.act_aft_steps;
+    if (dba_on) {
+      ++res.dba_active_steps;
+      for (std::size_t i = 0; i < n; ++i) {
+        accel[i] = dba::splice_f32(accel[i], master[i], cfg.dirty_bytes);
+      }
+    } else {
+      accel = master;
+    }
+
+    // Instrumentation.
+    if (cfg.record_every != 0 &&
+        (step % cfg.record_every == 0 || step + 1 == cfg.steps)) {
+      res.recorded_steps.push_back(step);
+      res.loss_curve.push_back(loss);
+      const auto pc = compare_arrays(prev_master, master);
+      const auto gc = compare_arrays(prev_grads, clipped);
+      res.param_changes.push_back(pc);
+      res.grad_changes.push_back(gc);
+      res.aggregate_param_changes += pc;
+      res.aggregate_grad_changes += gc;
+    }
+    prev_master = master;
+    prev_grads = clipped;
+    res.final_train_loss = loss;
+  }
+
+  // Evaluate with the accelerator's post-transfer parameters.
+  if (cfg.mixed_precision) {
+    compute = accel;
+    fp16_round_array(compute);
+    model.load_params(compute);
+  } else {
+    model.load_params(accel);
+  }
+
+  // Held-out evaluation with a fixed seed (same data for every variant).
+  sim::Rng eval_rng(cfg.eval_seed);
+  const Batch eval = sample_task(task, cfg.eval_batch, eval_rng);
+  model.forward(eval.inputs);
+  res.final_eval_loss = model.backward(eval.targets);
+  if (is_classification(task)) {
+    model.forward(eval.inputs);
+    res.final_metric = model.accuracy(eval.targets);
+  } else {
+    res.final_metric = std::exp(res.final_eval_loss);
+  }
+  return res;
+}
+
+}  // namespace teco::dl

@@ -1,0 +1,81 @@
+#include "dl/fp16.hpp"
+
+#include <cstring>
+
+namespace teco::dl {
+
+std::uint16_t f32_to_f16_bits(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t exp = (x >> 23) & 0xFFu;
+  std::uint32_t mant = x & 0x7FFFFFu;
+
+  if (exp == 0xFF) {  // Inf / NaN.
+    return static_cast<std::uint16_t>(sign | 0x7C00u |
+                                      (mant ? 0x200u | (mant >> 13) : 0));
+  }
+
+  // Unbiased exponent; half bias is 15, float bias 127.
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) {  // Overflow -> inf.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {  // Subnormal half or zero.
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // Underflow.
+    // Add the implicit leading 1, then shift into subnormal position.
+    mant |= 0x800000u;
+    const int shift = 14 - e;  // 14..24.
+    const std::uint32_t sub = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t out = sub;
+    if (rem > half || (rem == half && (sub & 1u))) ++out;
+    return static_cast<std::uint16_t>(sign | out);
+  }
+
+  // Normal: keep 10 mantissa bits, round to nearest even on the low 13.
+  std::uint32_t out = (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) {
+    ++out;  // May carry into the exponent; that is correct (rounds up to
+            // the next binade, or to inf at the top).
+  }
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+float f16_bits_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // Signed zero.
+    } else {
+      // Subnormal half: normalize into a float.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7F800000u | (mant << 13);  // Inf / NaN.
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, 4);
+  return f;
+}
+
+void fp16_round_array(std::span<float> values) {
+  for (auto& v : values) v = fp16_round(v);
+}
+
+}  // namespace teco::dl

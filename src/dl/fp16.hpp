@@ -1,0 +1,29 @@
+// Software IEEE 754 binary16 conversion (Section V, mixed-precision note).
+//
+// In mixed-precision ZeRO-Offload the FP32 master parameters live on CPU
+// and are converted to FP16 *on the GPU* after the transfer — so the
+// CPU->GPU stream stays FP32 and DBA still applies. We implement the
+// conversion bit-exactly (round-to-nearest-even, subnormals, inf/NaN) so
+// the training harness can model the FP16 compute path and verify that
+// DBA's low-byte splice composes with it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace teco::dl {
+
+/// Convert an FP32 value to IEEE binary16 bits (round-to-nearest-even).
+std::uint16_t f32_to_f16_bits(float f);
+
+/// Convert IEEE binary16 bits to FP32 (exact).
+float f16_bits_to_f32(std::uint16_t h);
+
+/// Round-trip through FP16: what a tensor-core kernel sees of an FP32
+/// parameter.
+inline float fp16_round(float f) { return f16_bits_to_f32(f32_to_f16_bits(f)); }
+
+/// In-place FP16 round-trip of a whole array (the GPU-side conversion).
+void fp16_round_array(std::span<float> values);
+
+}  // namespace teco::dl

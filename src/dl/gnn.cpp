@@ -1,0 +1,312 @@
+#include "dl/gnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/adam.hpp"
+
+namespace teco::dl {
+
+namespace {
+
+/// out[N,C] = a[N,R] * w^T where w is [C,R] row-major.
+void matmul_wt(const Tensor& a, std::span<const float> w, std::size_t c,
+               Tensor& out) {
+  const std::size_t n = a.rows(), r = a.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < r; ++k) {
+        acc += a.at(i, k) * w[j * r + k];
+      }
+      out.at(i, j) = acc;
+    }
+  }
+}
+
+/// out[N,H] = adj[N,N] * x[N,H] (adj symmetric).
+void spmm(const Tensor& adj, const Tensor& x, Tensor& out) {
+  const std::size_t n = adj.rows(), h = x.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t e = 0; e < h; ++e) out.at(i, e) = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float a = adj.at(i, j);
+      if (a == 0.0f) continue;
+      for (std::size_t e = 0; e < h; ++e) {
+        out.at(i, e) += a * x.at(j, e);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticGraph make_synthetic_graph(const GraphConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  SyntheticGraph g;
+  g.n_nodes = cfg.n_nodes;
+  g.n_features = cfg.n_features;
+  g.n_classes = cfg.n_classes;
+  g.labels.resize(cfg.n_nodes);
+  g.train_mask.resize(cfg.n_nodes);
+  g.features = Tensor(cfg.n_nodes, cfg.n_features);
+
+  // Class-dependent feature centers + noise.
+  std::vector<std::vector<float>> centers(cfg.n_classes,
+                                          std::vector<float>(cfg.n_features));
+  for (auto& c : centers) {
+    for (auto& v : c) v = static_cast<float>(rng.next_gaussian());
+  }
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    g.labels[i] = static_cast<std::uint32_t>(rng.next_below(cfg.n_classes));
+    g.train_mask[i] = rng.next_bool(cfg.train_fraction);
+    for (std::size_t d = 0; d < cfg.n_features; ++d) {
+      g.features.at(i, d) =
+          centers[g.labels[i]][d] +
+          static_cast<float>(rng.next_gaussian() * cfg.feature_noise);
+    }
+  }
+
+  // Adjacency with controlled homophily, plus self-loops; symmetrically
+  // normalized: A_hat = D^-1/2 (A + I) D^-1/2.
+  Tensor adj(cfg.n_nodes, cfg.n_nodes);
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) adj.at(i, i) = 1.0f;
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    for (std::size_t j = i + 1; j < cfg.n_nodes; ++j) {
+      const bool same = g.labels[i] == g.labels[j];
+      const double p = cfg.edge_prob *
+                       (same ? cfg.homophily : 1.0 - cfg.homophily) * 2.0;
+      if (rng.next_bool(p)) {
+        adj.at(i, j) = 1.0f;
+        adj.at(j, i) = 1.0f;
+      }
+    }
+  }
+  std::vector<float> inv_sqrt_deg(cfg.n_nodes);
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    float deg = 0.0f;
+    for (std::size_t j = 0; j < cfg.n_nodes; ++j) deg += adj.at(i, j);
+    inv_sqrt_deg[i] = 1.0f / std::sqrt(deg);
+  }
+  g.norm_adj = Tensor(cfg.n_nodes, cfg.n_nodes);
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    for (std::size_t j = 0; j < cfg.n_nodes; ++j) {
+      g.norm_adj.at(i, j) = adj.at(i, j) * inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  return g;
+}
+
+Gcnii::Gcnii(GcniiConfig cfg, std::size_t in_features, std::size_t n_classes)
+    : cfg_(cfg), in_features_(in_features), n_classes_(n_classes) {
+  if (cfg_.n_layers == 0 || cfg_.hidden == 0) {
+    throw std::invalid_argument("GCNII dims must be nonzero");
+  }
+  const std::size_t h = cfg_.hidden;
+  std::size_t off = 0;
+  w_in_off_ = off;
+  off += h * in_features_;
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    w_off_.push_back(off);
+    off += h * h;
+  }
+  w_out_off_ = off;
+  off += n_classes_ * h;
+  params_.resize(off);
+  grads_.resize(off, 0.0f);
+
+  sim::Rng rng(cfg_.seed);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i] = static_cast<float>(rng.next_gaussian()) * cfg_.init_stddev /
+                 std::sqrt(static_cast<float>(h));
+  }
+  pre_.resize(cfg_.n_layers);
+  h_.resize(cfg_.n_layers);
+  p_.resize(cfg_.n_layers);
+}
+
+float Gcnii::beta(std::size_t layer) const {
+  return std::log(cfg_.lambda / static_cast<float>(layer + 1) + 1.0f);
+}
+
+const Tensor& Gcnii::forward(const SyntheticGraph& g) {
+  const std::size_t n = g.n_nodes, h = cfg_.hidden;
+  h0_ = Tensor(n, h);
+  matmul_wt(g.features,
+            std::span<const float>(params_).subspan(w_in_off_,
+                                                    h * in_features_),
+            h, h0_);
+  for (auto& v : h0_.flat()) v = std::max(v, 0.0f);
+
+  const Tensor* cur = &h0_;
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    const float a = cfg_.alpha, b = beta(l);
+    p_[l] = Tensor(n, h);
+    spmm(g.norm_adj, *cur, p_[l]);
+    for (std::size_t i = 0; i < n * h; ++i) {
+      p_[l].flat()[i] = (1.0f - a) * p_[l].flat()[i] + a * h0_.flat()[i];
+    }
+    // M = (1-b) I + b W : pre = (1-b) P + b (P W^T).
+    pre_[l] = Tensor(n, h);
+    matmul_wt(p_[l],
+              std::span<const float>(params_).subspan(w_off_[l], h * h), h,
+              pre_[l]);
+    for (std::size_t i = 0; i < n * h; ++i) {
+      pre_[l].flat()[i] = (1.0f - b) * p_[l].flat()[i] +
+                          b * pre_[l].flat()[i];
+    }
+    h_[l] = pre_[l];
+    for (auto& v : h_[l].flat()) v = std::max(v, 0.0f);
+    cur = &h_[l];
+  }
+
+  logits_ = Tensor(n, n_classes_);
+  matmul_wt(*cur,
+            std::span<const float>(params_).subspan(w_out_off_,
+                                                    n_classes_ * h),
+            n_classes_, logits_);
+  return logits_;
+}
+
+float Gcnii::backward(const SyntheticGraph& g) {
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+  const std::size_t n = g.n_nodes, h = cfg_.hidden, c = n_classes_;
+
+  std::size_t n_train = 0;
+  for (const bool m : g.train_mask) n_train += m ? 1 : 0;
+  const double inv = n_train > 0 ? 1.0 / static_cast<double>(n_train) : 0.0;
+
+  // Softmax CE over train nodes only.
+  Tensor dlogits(n, c);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!g.train_mask[i]) continue;
+    float mx = logits_.at(i, 0);
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, logits_.at(i, j));
+    double z = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      z += std::exp(static_cast<double>(logits_.at(i, j) - mx));
+    }
+    for (std::size_t j = 0; j < c; ++j) {
+      const double pr = std::exp(static_cast<double>(logits_.at(i, j) - mx)) / z;
+      dlogits.at(i, j) =
+          static_cast<float>((pr - (j == g.labels[i] ? 1.0 : 0.0)) * inv);
+      if (j == g.labels[i]) loss -= std::log(std::max(pr, 1e-12)) * inv;
+    }
+  }
+
+  // Readout: logits = H_L W_out^T.
+  const Tensor& hl = cfg_.n_layers > 0 ? h_.back() : h0_;
+  Tensor dh(n, h);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float gj = dlogits.at(i, j);
+      if (gj == 0.0f) continue;
+      for (std::size_t e = 0; e < h; ++e) {
+        grads_[w_out_off_ + j * h + e] += gj * hl.at(i, e);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t e = 0; e < h; ++e) {
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < c; ++j) {
+        acc += dlogits.at(i, j) * params_[w_out_off_ + j * h + e];
+      }
+      dh.at(i, e) = acc;
+    }
+  }
+
+  // Layers in reverse. dH0 accumulates the initial-residual contributions.
+  Tensor dh0(n, h);
+  Tensor dp(n, h), dpre(n, h), tmp(n, h);
+  for (std::size_t l = cfg_.n_layers; l-- > 0;) {
+    const float a = cfg_.alpha, b = beta(l);
+    // ReLU.
+    for (std::size_t i = 0; i < n * h; ++i) {
+      dpre.flat()[i] = pre_[l].flat()[i] > 0.0f ? dh.flat()[i] : 0.0f;
+    }
+    // pre = (1-b) P + b P W^T.
+    // dW[j,e] += b * sum_i dpre[i,j] P[i,e].
+    for (std::size_t j = 0; j < h; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const float gj = b * dpre.at(i, j);
+        if (gj == 0.0f) continue;
+        for (std::size_t e = 0; e < h; ++e) {
+          grads_[w_off_[l] + j * h + e] += gj * p_[l].at(i, e);
+        }
+      }
+    }
+    // dP = (1-b) dpre + b dpre W.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t e = 0; e < h; ++e) {
+        float acc = (1.0f - b) * dpre.at(i, e);
+        for (std::size_t j = 0; j < h; ++j) {
+          acc += b * dpre.at(i, j) * params_[w_off_[l] + j * h + e];
+        }
+        dp.at(i, e) = acc;
+      }
+    }
+    // P = (1-a) A_hat H_prev + a H0 ; A_hat symmetric.
+    spmm(g.norm_adj, dp, tmp);
+    for (std::size_t i = 0; i < n * h; ++i) {
+      dh.flat()[i] = (1.0f - a) * tmp.flat()[i];
+      dh0.flat()[i] += a * dp.flat()[i];
+    }
+  }
+  // dh now holds the gradient w.r.t. H0 via the layer chain; add the
+  // accumulated initial-residual term.
+  for (std::size_t i = 0; i < n * h; ++i) dh.flat()[i] += dh0.flat()[i];
+
+  // H0 = relu(X W_in^T).
+  for (std::size_t i = 0; i < n * h; ++i) {
+    if (h0_.flat()[i] <= 0.0f) dh.flat()[i] = 0.0f;
+  }
+  for (std::size_t j = 0; j < h; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float gj = dh.at(i, j);
+      if (gj == 0.0f) continue;
+      for (std::size_t e = 0; e < in_features_; ++e) {
+        grads_[w_in_off_ + j * in_features_ + e] += gj * g.features.at(i, e);
+      }
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+float Gcnii::accuracy(const SyntheticGraph& g, bool on_train_mask) const {
+  std::size_t total = 0, correct = 0;
+  for (std::size_t i = 0; i < g.n_nodes; ++i) {
+    if (g.train_mask[i] != on_train_mask) continue;
+    ++total;
+    std::size_t argmax = 0;
+    for (std::size_t j = 1; j < n_classes_; ++j) {
+      if (logits_.at(i, j) > logits_.at(i, argmax)) argmax = j;
+    }
+    if (argmax == g.labels[i]) ++correct;
+  }
+  return total == 0 ? 0.0f
+                    : static_cast<float>(correct) / static_cast<float>(total);
+}
+
+float train_gcnii_accuracy(const GraphConfig& gcfg, const GcniiConfig& mcfg,
+                           std::size_t steps, float lr) {
+  const auto graph = make_synthetic_graph(gcfg);
+  Gcnii net(mcfg, graph.n_features, graph.n_classes);
+  AdamConfig acfg;
+  acfg.lr = lr;
+  Adam adam(net.n_params(), acfg);
+  std::vector<float> clipped(net.n_params());
+  for (std::size_t s = 0; s < steps; ++s) {
+    net.forward(graph);
+    net.backward(graph);
+    clipped.assign(net.grads().begin(), net.grads().end());
+    adam.clip_gradients(clipped);
+    adam.step(net.params(), clipped);
+  }
+  net.forward(graph);
+  return net.accuracy(graph, /*on_train_mask=*/false);
+}
+
+}  // namespace teco::dl

@@ -1,0 +1,148 @@
+#include "dl/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace teco::dl {
+
+Mlp::Mlp(MlpConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.layer_sizes.size() < 2) {
+    throw std::invalid_argument("MLP needs at least input and output sizes");
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l + 1 < cfg_.layer_sizes.size(); ++l) {
+    const std::size_t in = cfg_.layer_sizes[l];
+    const std::size_t out = cfg_.layer_sizes[l + 1];
+    layers_.push_back(LayerView{total, total + in * out, in, out});
+    total += in * out + out;
+  }
+  params_.resize(total);
+  grads_.resize(total, 0.0f);
+
+  sim::Rng rng(cfg_.seed);
+  for (const auto& l : layers_) {
+    // Xavier-style scale keeps tanh activations in range at init.
+    const float scale =
+        cfg_.init_stddev / std::sqrt(static_cast<float>(l.in));
+    for (std::size_t i = 0; i < l.in * l.out; ++i) {
+      params_[l.w_off + i] = static_cast<float>(rng.next_gaussian()) * scale;
+    }
+    for (std::size_t i = 0; i < l.out; ++i) params_[l.b_off + i] = 0.0f;
+  }
+  pre_act_.resize(layers_.size());
+  post_act_.resize(layers_.size());
+}
+
+const Tensor& Mlp::forward(const Tensor& x) {
+  input_ = x;
+  const Tensor* cur = &input_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& lv = layers_[l];
+    pre_act_[l] = Tensor(cur->rows(), lv.out);
+    linear_forward(*cur,
+                   std::span<const float>(params_).subspan(lv.w_off,
+                                                           lv.in * lv.out),
+                   std::span<const float>(params_).subspan(lv.b_off, lv.out),
+                   pre_act_[l]);
+    post_act_[l] = pre_act_[l];
+    if (l + 1 < layers_.size()) {
+      for (auto& v : post_act_[l].flat()) v = std::tanh(v);
+    }
+    cur = &post_act_[l];
+  }
+  return post_act_.back();
+}
+
+float Mlp::backward(const Tensor& targets) {
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+  const Tensor& out = post_act_.back();
+  const std::size_t b = out.rows(), n = out.cols();
+  Tensor dout(b, n);
+  double loss = 0.0;
+
+  if (cfg_.output == OutputKind::kRegression) {
+    assert(targets.rows() == b && targets.cols() == n);
+    const double inv = 1.0 / static_cast<double>(b * n);
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float d = out.at(i, j) - targets.at(i, j);
+        loss += static_cast<double>(d) * d * inv;
+        dout.at(i, j) = static_cast<float>(2.0 * inv) * d;
+      }
+    }
+  } else {
+    assert(targets.rows() == b && targets.cols() == 1);
+    const double invb = 1.0 / static_cast<double>(b);
+    for (std::size_t i = 0; i < b; ++i) {
+      // Numerically stable softmax.
+      float mx = out.at(i, 0);
+      for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, out.at(i, j));
+      double z = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        z += std::exp(static_cast<double>(out.at(i, j) - mx));
+      }
+      const auto label = static_cast<std::size_t>(targets.at(i, 0));
+      assert(label < n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double p =
+            std::exp(static_cast<double>(out.at(i, j) - mx)) / z;
+        dout.at(i, j) =
+            static_cast<float>((p - (j == label ? 1.0 : 0.0)) * invb);
+        if (j == label) loss -= std::log(std::max(p, 1e-12)) * invb;
+      }
+    }
+  }
+
+  // Backprop through the stack.
+  Tensor grad = dout;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& lv = layers_[li];
+    const Tensor& act_in = li == 0 ? input_ : post_act_[li - 1];
+    Tensor dx(act_in.rows(), lv.in);
+    linear_backward(act_in,
+                    std::span<const float>(params_).subspan(lv.w_off,
+                                                            lv.in * lv.out),
+                    grad,
+                    std::span<float>(grads_).subspan(lv.w_off, lv.in * lv.out),
+                    std::span<float>(grads_).subspan(lv.b_off, lv.out), dx);
+    if (li > 0) {
+      // dtanh(z) = 1 - tanh(z)^2, and post_act_ caches tanh(z).
+      const Tensor& a = post_act_[li - 1];
+      for (std::size_t i = 0; i < dx.rows(); ++i) {
+        for (std::size_t k = 0; k < dx.cols(); ++k) {
+          const float t = a.at(i, k);
+          dx.at(i, k) *= 1.0f - t * t;
+        }
+      }
+    }
+    grad = std::move(dx);
+  }
+  return static_cast<float>(loss);
+}
+
+float Mlp::accuracy(const Tensor& targets) const {
+  const Tensor& out = post_act_.back();
+  if (cfg_.output != OutputKind::kClassification || out.rows() == 0) {
+    return 0.0f;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    std::size_t argmax = 0;
+    for (std::size_t j = 1; j < out.cols(); ++j) {
+      if (out.at(i, j) > out.at(i, argmax)) argmax = j;
+    }
+    if (argmax == static_cast<std::size_t>(targets.at(i, 0))) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(out.rows());
+}
+
+void Mlp::load_params(std::span<const float> p) {
+  if (p.size() != params_.size()) {
+    throw std::invalid_argument("parameter size mismatch");
+  }
+  std::copy(p.begin(), p.end(), params_.begin());
+}
+
+}  // namespace teco::dl

@@ -1,0 +1,76 @@
+// A real multi-layer perceptron with manual backpropagation.
+//
+// Stands in for the paper's fine-tuned transformers in the numeric
+// experiments. All parameters live in ONE contiguous FP32 buffer (weights
+// then biases, layer by layer) and all gradients in a parallel buffer, so:
+//  * the byte-change instrumentation (Fig. 2) walks them like cache lines,
+//  * Adam sweeps them in a single streaming pass (like ZeRO-Offload's
+//    CPU-Adam), and
+//  * DBA splicing can be applied bit-exactly to the "accelerator copy".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dl/model_base.hpp"
+#include "dl/tensor.hpp"
+#include "sim/rng.hpp"
+
+namespace teco::dl {
+
+enum class OutputKind {
+  kRegression,      ///< Linear output + MSE loss.
+  kClassification,  ///< Softmax + cross-entropy loss.
+};
+
+struct MlpConfig {
+  std::vector<std::size_t> layer_sizes;  ///< e.g. {16, 64, 64, 1}.
+  OutputKind output = OutputKind::kRegression;
+  float init_stddev = 0.25f;
+  std::uint64_t seed = 42;
+};
+
+class Mlp final : public ModelBase {
+ public:
+  explicit Mlp(MlpConfig cfg);
+
+  /// Forward pass over a batch (rows = samples), caching activations.
+  /// Returns network outputs [B, out_dim].
+  const Tensor& forward(const Tensor& x) override;
+
+  /// Backward pass; fills the gradient buffer and returns the mean loss.
+  /// For regression, `targets` is [B, out_dim]; for classification it is
+  /// [B, 1] holding class indices.
+  float backward(const Tensor& targets) override;
+
+  /// Classification accuracy of the latest forward() outputs.
+  float accuracy(const Tensor& targets) const override;
+
+  std::span<float> params() override { return params_; }
+  std::span<const float> params() const { return params_; }
+  std::span<float> grads() { return grads_; }
+  std::span<const float> grads() const override { return grads_; }
+  std::size_t n_params() const override { return params_.size(); }
+  const MlpConfig& config() const { return cfg_; }
+
+  /// Replace parameters (e.g. with a DBA-spliced accelerator copy).
+  void load_params(std::span<const float> p) override;
+
+ private:
+  struct LayerView {
+    std::size_t w_off, b_off, in, out;
+  };
+
+  MlpConfig cfg_;
+  std::vector<LayerView> layers_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+
+  // Forward caches.
+  Tensor input_;
+  std::vector<Tensor> pre_act_;   ///< z_l = W_l a_{l-1} + b_l.
+  std::vector<Tensor> post_act_;  ///< a_l = act(z_l); last = output.
+};
+
+}  // namespace teco::dl

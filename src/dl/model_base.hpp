@@ -1,0 +1,32 @@
+// Common interface for the real trainable models (MLP, tiny transformer).
+//
+// All models keep their parameters and gradients in single contiguous FP32
+// buffers so the byte-change instrumentation, Adam, and DBA splicing treat
+// them uniformly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dl/tensor.hpp"
+
+namespace teco::dl {
+
+class ModelBase {
+ public:
+  virtual ~ModelBase() = default;
+
+  /// Forward over a batch (rows = samples); returns outputs [B, out_dim].
+  virtual const Tensor& forward(const Tensor& x) = 0;
+  /// Backward from the latest forward; fills grads, returns mean loss.
+  virtual float backward(const Tensor& targets) = 0;
+  /// Classification accuracy of the latest forward outputs (0 otherwise).
+  virtual float accuracy(const Tensor& targets) const = 0;
+
+  virtual std::span<float> params() = 0;
+  virtual std::span<const float> grads() const = 0;
+  virtual void load_params(std::span<const float> p) = 0;
+  virtual std::size_t n_params() const = 0;
+};
+
+}  // namespace teco::dl

@@ -1,0 +1,99 @@
+#include "dl/model_zoo.hpp"
+
+#include <stdexcept>
+
+namespace teco::dl {
+
+namespace {
+constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+constexpr std::uint64_t M(double millions) {
+  return static_cast<std::uint64_t>(millions * 1e6);
+}
+}  // namespace
+
+std::uint64_t ModelConfig::giant_cache_requirement() const {
+  // FP16 compute copy of the parameters plus the gradient-buffer region.
+  // Table III's reported sizings average ~2.7 B/param across all five
+  // models, i.e. a buffer of ~0.7 B/param on top of the FP16 copy.
+  return n_params * 2 + n_params * 7 / 10;
+}
+
+std::uint64_t ModelConfig::gradient_buffer_bytes() const {
+  // DeepSpeed's default reduce-bucket sizing is a few hundred MB; scale it
+  // with the model but cap it, mirroring the configurable buffer the paper
+  // mentions in Phase 3.
+  const std::uint64_t pref = gradient_bytes() / 8;
+  const std::uint64_t cap = 256ull * kMiB;
+  return pref < cap ? pref : cap;
+}
+
+ModelConfig gpt2() {
+  return ModelConfig{"GPT2", ModelKind::kTransformerDecoder, M(122),
+                     12, 1024, 12, 256, 324 * kMiB, "Perplexity", false};
+}
+
+ModelConfig albert_xxlarge_v1() {
+  return ModelConfig{"Albert-xxlarge-v1", ModelKind::kTransformerEncoder,
+                     M(223), 12, 4096, 48, 384, 547 * kMiB, "F1/EM", false};
+}
+
+ModelConfig bert_large_cased() {
+  return ModelConfig{"Bert-large-cased", ModelKind::kTransformerEncoder,
+                     M(334), 24, 1024, 12, 512, 817 * kMiB, "Accuracy",
+                     false};
+}
+
+ModelConfig t5_large() {
+  return ModelConfig{"T5-large", ModelKind::kTransformerEncDec, M(737),
+                     48, 1024, 12, 512, 2069 * kMiB, "Gen-length", false};
+}
+
+ModelConfig gcnii() {
+  // seq_len holds the node count of the Wisconsin graph (full-graph steps).
+  return ModelConfig{"GCNII", ModelKind::kGraphNeuralNetwork, M(156),
+                     64, 1560, 0, 251, 400 * kMiB, "Accuracy", true};
+}
+
+ModelConfig gpt2_medium() {
+  return ModelConfig{"GPT2-Medium", ModelKind::kTransformerDecoder, M(356),
+                     24, 1024, 16, 512, 945 * kMiB, "Perplexity", false};
+}
+
+ModelConfig gpt2_large() {
+  return ModelConfig{"GPT2-Large", ModelKind::kTransformerDecoder, M(778),
+                     36, 1280, 20, 512, 2065 * kMiB, "Perplexity", false};
+}
+
+ModelConfig gpt2_11b() {
+  return ModelConfig{"GPT2-11B", ModelKind::kTransformerDecoder, M(11000),
+                     72, 3584, 28, 512, 29000 * kMiB, "Perplexity", false};
+}
+
+ModelConfig bert_base_uncased() {
+  // GLUE-MNLI fine-tuning uses sequence length 128.
+  return ModelConfig{"Bert-base-uncased", ModelKind::kTransformerEncoder,
+                     M(110), 12, 768, 12, 128, 280 * kMiB, "Accuracy",
+                     false};
+}
+
+std::vector<ModelConfig> table3_models() {
+  return {gpt2(), albert_xxlarge_v1(), bert_large_cased(), t5_large(),
+          gcnii()};
+}
+
+std::vector<ModelConfig> table6_models() {
+  return {gpt2(), gpt2_medium(), gpt2_large(), gpt2_11b()};
+}
+
+ModelConfig model_by_name(const std::string& name) {
+  for (const auto& m : table3_models()) {
+    if (m.name == name) return m;
+  }
+  for (const auto& m : table6_models()) {
+    if (m.name == name) return m;
+  }
+  if (name == "Bert-base-uncased") return bert_base_uncased();
+  throw std::out_of_range("unknown model: " + name);
+}
+
+}  // namespace teco::dl

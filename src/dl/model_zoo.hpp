@@ -1,0 +1,69 @@
+// The evaluated DL model configurations (Table III + Section VIII-E).
+//
+// These are *analytic* descriptions feeding the performance model: parameter
+// counts, transformer shape (layers, hidden, heads), the paper's reported
+// giant-cache sizing, and the metric each model reports. The numeric
+// experiments use the real (small) MLPs in mlp.hpp instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teco::dl {
+
+enum class ModelKind {
+  kTransformerDecoder,
+  kTransformerEncoder,
+  kTransformerEncDec,
+  kGraphNeuralNetwork,
+};
+
+struct ModelConfig {
+  std::string name;
+  ModelKind kind = ModelKind::kTransformerEncoder;
+  std::uint64_t n_params = 0;       ///< Total trainable parameters.
+  std::uint32_t n_layers = 0;
+  std::uint32_t hidden_size = 0;
+  std::uint32_t n_heads = 0;        ///< 0 for non-transformers.
+  std::uint32_t seq_len = 512;      ///< Training sequence length.
+  std::uint64_t giant_cache_bytes = 0;  ///< Paper's Table III sizing.
+  std::string metric;               ///< "Perplexity", "Accuracy", ...
+  bool full_graph_only = false;     ///< GCNII: batch size fixed.
+
+  std::uint64_t param_bytes() const { return n_params * 4; }
+  std::uint64_t gradient_bytes() const { return n_params * 4; }
+  /// ZeRO-Offload GPU-side gradient buffer (a configurable fraction of the
+  /// gradient size; defaults mirror the DeepSpeed default bucket sizing).
+  std::uint64_t gradient_buffer_bytes() const;
+  /// Required giant-cache size: the FP16 parameter copy the GPU computes
+  /// with plus the gradient buffer (Section IV-A1: "the size of parameters
+  /// in the accelerator plus the size of the gradient buffer"). Tested to
+  /// match Table III's reported sizings within tolerance.
+  std::uint64_t giant_cache_requirement() const;
+};
+
+/// Table III models.
+ModelConfig gpt2();                ///< 122M, decoder.
+ModelConfig albert_xxlarge_v1();   ///< 223M, encoder, 48 heads.
+ModelConfig bert_large_cased();    ///< 334M, encoder.
+ModelConfig t5_large();            ///< 737M, enc-dec.
+ModelConfig gcnii();               ///< 156M, GNN, full-graph only.
+
+/// Section VIII-E GPT-2 scale sweep.
+ModelConfig gpt2_medium();         ///< 356M.
+ModelConfig gpt2_large();          ///< 778M.
+ModelConfig gpt2_11b();            ///< 11B.
+
+/// Table VII.
+ModelConfig bert_base_uncased();   ///< 110M.
+
+/// All Table III models in paper order.
+std::vector<ModelConfig> table3_models();
+/// The GPT-2 family for Table VI.
+std::vector<ModelConfig> table6_models();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+ModelConfig model_by_name(const std::string& name);
+
+}  // namespace teco::dl

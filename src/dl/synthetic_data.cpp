@@ -1,0 +1,57 @@
+#include "dl/synthetic_data.hpp"
+
+namespace teco::dl {
+
+namespace {
+MlpConfig teacher_config(std::size_t in, std::size_t out, std::uint64_t seed) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {in, 32, out};
+  cfg.output = OutputKind::kRegression;
+  cfg.init_stddev = 1.0f;
+  cfg.seed = seed;
+  return cfg;
+}
+}  // namespace
+
+RegressionTask::RegressionTask(std::size_t input_dim, std::size_t output_dim,
+                               float noise_stddev, std::uint64_t seed)
+    : input_dim_(input_dim), output_dim_(output_dim), noise_(noise_stddev),
+      teacher_(teacher_config(input_dim, output_dim, seed)) {}
+
+Batch RegressionTask::sample(std::size_t batch_size, sim::Rng& rng) const {
+  Tensor x = Tensor::randn(batch_size, input_dim_, rng, 1.0f);
+  Tensor y = teacher_.forward(x);
+  for (auto& v : y.flat()) {
+    v += static_cast<float>(rng.next_gaussian()) * noise_;
+  }
+  return Batch{std::move(x), std::move(y)};
+}
+
+ClassificationTask::ClassificationTask(std::size_t input_dim,
+                                       std::size_t classes,
+                                       float cluster_spread,
+                                       std::uint64_t seed)
+    : input_dim_(input_dim), classes_(classes), spread_(cluster_spread) {
+  sim::Rng rng(seed);
+  centers_.resize(classes_);
+  for (auto& c : centers_) {
+    c.resize(input_dim_);
+    for (auto& v : c) v = static_cast<float>(rng.next_gaussian());
+  }
+}
+
+Batch ClassificationTask::sample(std::size_t batch_size, sim::Rng& rng) const {
+  Tensor x(batch_size, input_dim_);
+  Tensor y(batch_size, 1);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const auto label = rng.next_below(classes_);
+    y.at(i, 0) = static_cast<float>(label);
+    for (std::size_t d = 0; d < input_dim_; ++d) {
+      x.at(i, d) = centers_[label][d] +
+                   static_cast<float>(rng.next_gaussian()) * spread_;
+    }
+  }
+  return Batch{std::move(x), std::move(y)};
+}
+
+}  // namespace teco::dl

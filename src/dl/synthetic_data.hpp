@@ -1,0 +1,60 @@
+// Synthetic supervised tasks standing in for the paper's datasets.
+//
+// The numeric experiments measure optimizer-driven parameter dynamics and
+// DBA's effect on convergence, which depend on the training process, not on
+// language data (unavailable offline). Two tasks:
+//  * Regression: targets from a fixed random teacher MLP plus noise —
+//    the "perplexity"-metric proxy (GPT-2/T5-style generative losses).
+//  * Classification: Gaussian clusters with class overlap — the
+//    "accuracy"-metric proxy (Bert/Albert-style discriminative tasks).
+// Both are deterministic from a seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dl/mlp.hpp"
+#include "dl/tensor.hpp"
+#include "sim/rng.hpp"
+
+namespace teco::dl {
+
+struct Batch {
+  Tensor inputs;
+  Tensor targets;
+};
+
+/// Regression task: y = teacher(x) + noise.
+class RegressionTask {
+ public:
+  RegressionTask(std::size_t input_dim, std::size_t output_dim,
+                 float noise_stddev, std::uint64_t seed);
+
+  Batch sample(std::size_t batch_size, sim::Rng& rng) const;
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return output_dim_; }
+
+ private:
+  std::size_t input_dim_, output_dim_;
+  float noise_;
+  /// Never trained; mutable because forward() caches activations.
+  mutable Mlp teacher_;
+};
+
+/// Classification task: `classes` Gaussian clusters in `input_dim` dims.
+class ClassificationTask {
+ public:
+  ClassificationTask(std::size_t input_dim, std::size_t classes,
+                     float cluster_spread, std::uint64_t seed);
+
+  Batch sample(std::size_t batch_size, sim::Rng& rng) const;
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t classes() const { return classes_; }
+
+ private:
+  std::size_t input_dim_, classes_;
+  float spread_;
+  std::vector<std::vector<float>> centers_;
+};
+
+}  // namespace teco::dl

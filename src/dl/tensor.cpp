@@ -1,0 +1,63 @@
+#include "dl/tensor.hpp"
+
+#include <cassert>
+
+namespace teco::dl {
+
+Tensor Tensor::randn(std::size_t rows, std::size_t cols, sim::Rng& rng,
+                     float stddev) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+  return t;
+}
+
+void linear_forward(const Tensor& x, std::span<const float> w,
+                    std::span<const float> bias, Tensor& out) {
+  const std::size_t b = x.rows(), m = x.cols(), n = bias.size();
+  assert(w.size() == n * m);
+  assert(out.rows() == b && out.cols() == n);
+  for (std::size_t i = 0; i < b; ++i) {
+    const float* xr = x.data() + i * m;
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = bias[j];
+      const float* wr = w.data() + j * m;
+      for (std::size_t k = 0; k < m; ++k) acc += xr[k] * wr[k];
+      out.at(i, j) = acc;
+    }
+  }
+}
+
+void linear_backward(const Tensor& x, std::span<const float> w,
+                     const Tensor& dout, std::span<float> dw,
+                     std::span<float> dbias, Tensor& dx) {
+  const std::size_t b = x.rows(), m = x.cols(), n = dbias.size();
+  assert(dout.rows() == b && dout.cols() == n);
+  assert(w.size() == n * m && dw.size() == n * m);
+  assert(dx.rows() == b && dx.cols() == m);
+  for (std::size_t j = 0; j < n; ++j) {
+    float db = 0.0f;
+    for (std::size_t i = 0; i < b; ++i) db += dout.at(i, j);
+    dbias[j] += db;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    float* dwr = dw.data() + j * m;
+    for (std::size_t i = 0; i < b; ++i) {
+      const float g = dout.at(i, j);
+      const float* xr = x.data() + i * m;
+      for (std::size_t k = 0; k < m; ++k) dwr[k] += g * xr[k];
+    }
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    float* dxr = dx.data() + i * m;
+    for (std::size_t k = 0; k < m; ++k) dxr[k] = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float g = dout.at(i, j);
+      const float* wr = w.data() + j * m;
+      for (std::size_t k = 0; k < m; ++k) dxr[k] += g * wr[k];
+    }
+  }
+}
+
+}  // namespace teco::dl

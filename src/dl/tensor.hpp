@@ -1,0 +1,57 @@
+// Minimal dense FP32 tensor used by the numeric training path.
+//
+// TECO's numeric experiments (Fig. 2, Fig. 10, Fig. 13, Table V) need real
+// parameter/gradient value dynamics, not a full framework; this tensor is a
+// contiguous row-major buffer with the handful of ops the MLP needs. The
+// contiguous layout is deliberate: byte-change statistics and DBA splicing
+// walk the raw bytes exactly as the CXL modules would walk cache lines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace teco::dl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  static Tensor randn(std::size_t rows, std::size_t cols, sim::Rng& rng,
+                      float stddev);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out[B,N] = x[B,M] * w^T + bias[N], where w is row-major [N,M] in a flat
+/// span (the MLP keeps all weights in one contiguous parameter buffer).
+void linear_forward(const Tensor& x, std::span<const float> w,
+                    std::span<const float> bias, Tensor& out);
+
+/// Gradients of the linear layer given dL/dout.
+/// dw[N,M] += dout^T * x ; dbias[N] += colsum(dout) ; dx[B,M] = dout * w.
+void linear_backward(const Tensor& x, std::span<const float> w,
+                     const Tensor& dout, std::span<float> dw,
+                     std::span<float> dbias, Tensor& dx);
+
+}  // namespace teco::dl

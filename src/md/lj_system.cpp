@@ -1,0 +1,250 @@
+#include "md/lj_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace teco::md {
+
+LjSystem::LjSystem(LjConfig cfg) : cfg_(cfg) {
+  if (cfg_.fcc_cells == 0) throw std::invalid_argument("fcc_cells > 0");
+  const std::size_t n = 4ull * cfg_.fcc_cells * cfg_.fcc_cells *
+                        cfg_.fcc_cells;
+  box_ = std::cbrt(static_cast<double>(n) / cfg_.density);
+  cutoff_sq_ = cfg_.cutoff * cfg_.cutoff;
+
+  // FCC lattice.
+  pos_.reserve(n);
+  const double a = box_ / cfg_.fcc_cells;
+  const double basis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  for (std::uint32_t i = 0; i < cfg_.fcc_cells; ++i) {
+    for (std::uint32_t j = 0; j < cfg_.fcc_cells; ++j) {
+      for (std::uint32_t k = 0; k < cfg_.fcc_cells; ++k) {
+        for (const auto& b : basis) {
+          pos_.push_back(Vec3{(i + b[0]) * a, (j + b[1]) * a, (k + b[2]) * a});
+        }
+      }
+    }
+  }
+
+  // Maxwell-Boltzmann velocities at the target temperature, zero net
+  // momentum, exact rescale to T*.
+  sim::Rng rng(cfg_.seed);
+  vel_.resize(n);
+  Vec3 net{};
+  for (auto& v : vel_) {
+    v = Vec3{rng.next_gaussian(), rng.next_gaussian(), rng.next_gaussian()};
+    net.x += v.x;
+    net.y += v.y;
+    net.z += v.z;
+  }
+  for (auto& v : vel_) {
+    v.x -= net.x / n;
+    v.y -= net.y / n;
+    v.z -= net.z / n;
+  }
+  double ke = 0.0;
+  for (const auto& v : vel_) ke += v.x * v.x + v.y * v.y + v.z * v.z;
+  const double t_now = ke / (3.0 * static_cast<double>(n));
+  const double scale = std::sqrt(cfg_.temperature / t_now);
+  for (auto& v : vel_) {
+    v.x *= scale;
+    v.y *= scale;
+    v.z *= scale;
+  }
+
+  force_.resize(n);
+  cells_per_side_ = static_cast<std::uint32_t>(box_ / cfg_.cutoff);
+  if (cells_per_side_ < 3) cells_per_side_ = 1;  // Fall back to O(N^2) grid.
+  cell_len_ = box_ / cells_per_side_;
+  compute_forces();
+}
+
+double LjSystem::minimum_image(double d) const {
+  if (d > 0.5 * box_) return d - box_;
+  if (d < -0.5 * box_) return d + box_;
+  return d;
+}
+
+void LjSystem::build_cells() {
+  const std::size_t n_cells =
+      static_cast<std::size_t>(cells_per_side_) * cells_per_side_ *
+      cells_per_side_;
+  cell_head_.assign(n_cells, -1);
+  cell_next_.assign(pos_.size(), -1);
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    auto cc = [&](double x) {
+      auto c = static_cast<std::int64_t>(x / cell_len_);
+      c %= cells_per_side_;
+      if (c < 0) c += cells_per_side_;
+      return static_cast<std::uint32_t>(c);
+    };
+    const std::uint32_t cx = cc(pos_[i].x), cy = cc(pos_[i].y),
+                        cz = cc(pos_[i].z);
+    const std::size_t cell =
+        (static_cast<std::size_t>(cx) * cells_per_side_ + cy) *
+            cells_per_side_ + cz;
+    cell_next_[i] = cell_head_[cell];
+    cell_head_[cell] = static_cast<std::int32_t>(i);
+  }
+}
+
+void LjSystem::compute_forces() {
+  for (auto& f : force_) f = Vec3{};
+  potential_ = 0.0;
+
+  auto pair = [&](std::size_t i, std::size_t j) {
+    const double dx = minimum_image(pos_[i].x - pos_[j].x);
+    const double dy = minimum_image(pos_[i].y - pos_[j].y);
+    const double dz = minimum_image(pos_[i].z - pos_[j].z);
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= cutoff_sq_ || r2 == 0.0) return;
+    const double inv2 = 1.0 / r2;
+    const double inv6 = inv2 * inv2 * inv2;
+    // F/r = 24 eps (2 (s/r)^12 - (s/r)^6) / r^2 in reduced units.
+    const double fr = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+    force_[i].x += fr * dx;
+    force_[i].y += fr * dy;
+    force_[i].z += fr * dz;
+    force_[j].x -= fr * dx;
+    force_[j].y -= fr * dy;
+    force_[j].z -= fr * dz;
+    potential_ += 4.0 * inv6 * (inv6 - 1.0);
+  };
+
+  if (cells_per_side_ < 3) {
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      for (std::size_t j = i + 1; j < pos_.size(); ++j) pair(i, j);
+    }
+    return;
+  }
+
+  build_cells();
+  const std::int32_t c = cells_per_side_;
+  auto cell_of = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+    x = (x % c + c) % c;
+    y = (y % c + c) % c;
+    z = (z % c + c) % c;
+    return (static_cast<std::size_t>(x) * c + y) * c + z;
+  };
+  for (std::int32_t cx = 0; cx < c; ++cx) {
+    for (std::int32_t cy = 0; cy < c; ++cy) {
+      for (std::int32_t cz = 0; cz < c; ++cz) {
+        const std::size_t home = cell_of(cx, cy, cz);
+        for (std::int32_t i = cell_head_[home]; i >= 0; i = cell_next_[i]) {
+          // Within the home cell, pair i with everything after it in the
+          // chain — each unordered pair is visited exactly once.
+          for (std::int32_t j = cell_next_[i]; j >= 0; j = cell_next_[j]) {
+            pair(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+          }
+          // Half the neighbor shells to count each pair once.
+          static constexpr std::int32_t kHalf[13][3] = {
+              {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},  {1, -1, 0},
+              {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1}, {1, 1, 1},
+              {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+          for (const auto& d : kHalf) {
+            const std::size_t nb = cell_of(cx + d[0], cy + d[1], cz + d[2]);
+            for (std::int32_t j = cell_head_[nb]; j >= 0; j = cell_next_[j]) {
+              pair(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void LjSystem::step() {
+  const double dt = cfg_.dt;
+  const double half = 0.5 * dt;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    vel_[i].x += half * force_[i].x;
+    vel_[i].y += half * force_[i].y;
+    vel_[i].z += half * force_[i].z;
+    pos_[i].x += dt * vel_[i].x;
+    pos_[i].y += dt * vel_[i].y;
+    pos_[i].z += dt * vel_[i].z;
+    // Wrap into the box.
+    auto wrap = [&](double& x) {
+      if (x >= box_) x -= box_;
+      if (x < 0.0) x += box_;
+    };
+    wrap(pos_[i].x);
+    wrap(pos_[i].y);
+    wrap(pos_[i].z);
+  }
+  compute_forces();
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    vel_[i].x += half * force_[i].x;
+    vel_[i].y += half * force_[i].y;
+    vel_[i].z += half * force_[i].z;
+  }
+}
+
+void LjSystem::run(std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) step();
+}
+
+double LjSystem::kinetic_energy() const {
+  double ke = 0.0;
+  for (const auto& v : vel_) ke += v.x * v.x + v.y * v.y + v.z * v.z;
+  return 0.5 * ke;
+}
+
+double LjSystem::instantaneous_temperature() const {
+  return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(n()));
+}
+
+std::vector<float> LjSystem::positions_f32() const {
+  std::vector<float> out;
+  out.reserve(pos_.size() * 3);
+  for (const auto& p : pos_) {
+    out.push_back(static_cast<float>(p.x));
+    out.push_back(static_cast<float>(p.y));
+    out.push_back(static_cast<float>(p.z));
+  }
+  return out;
+}
+
+std::vector<double> LjSystem::radial_distribution(std::size_t bins,
+                                                  double r_max) const {
+  std::vector<double> hist(bins, 0.0);
+  const double dr = r_max / static_cast<double>(bins);
+  const std::size_t n_atoms = n();
+  for (std::size_t i = 0; i < n_atoms; ++i) {
+    for (std::size_t j = i + 1; j < n_atoms; ++j) {
+      const double dx = minimum_image(pos_[i].x - pos_[j].x);
+      const double dy = minimum_image(pos_[i].y - pos_[j].y);
+      const double dz = minimum_image(pos_[i].z - pos_[j].z);
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (r < r_max) {
+        hist[static_cast<std::size_t>(r / dr)] += 2.0;  // Pair counted once.
+      }
+    }
+  }
+  // Normalize by the ideal-gas shell expectation: 4 pi r^2 dr rho N.
+  const double rho = static_cast<double>(n_atoms) / (box_ * box_ * box_);
+  std::vector<double> g(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double r_lo = dr * static_cast<double>(b);
+    const double r_hi = r_lo + dr;
+    const double shell =
+        4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = shell * rho * static_cast<double>(n_atoms);
+    g[b] = ideal > 0.0 ? hist[b] / ideal : 0.0;
+  }
+  return g;
+}
+
+std::vector<float> LjSystem::forces_f32() const {
+  std::vector<float> out;
+  out.reserve(force_.size() * 3);
+  for (const auto& f : force_) {
+    out.push_back(static_cast<float>(f.x));
+    out.push_back(static_cast<float>(f.y));
+    out.push_back(static_cast<float>(f.z));
+  }
+  return out;
+}
+
+}  // namespace teco::md

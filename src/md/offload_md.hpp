@@ -1,0 +1,73 @@
+// Offload timeline for the MD generality study (Section VII).
+//
+// LAMMPS-style split: the accelerator computes forces, ships them to the
+// CPU; the CPU integrates positions and ships them back. The same three
+// interconnect regimes as DL training apply:
+//   explicit DMA copies (baseline) / CXL update streaming (TECO-CXL) /
+//   update streaming + DBA on the position stream (TECO-Reduction).
+// Forces, like gradients, have no stable byte pattern and never use DBA;
+// positions advance by v*dt per step, so their high bytes are stable —
+// the paper reports 17 % communication-volume reduction from DBA and a
+// 21.5 % end-to-end improvement (78 % of it from CXL, 22 % from DBA).
+#pragma once
+
+#include <cstdint>
+
+#include "offload/calibration.hpp"
+#include "sim/time.hpp"
+
+namespace teco::md {
+
+struct MdWorkload {
+  std::uint64_t n_atoms = 4'000'000;
+  /// Accelerator force-kernel throughput (atom-steps/s, LJ melt class).
+  double gpu_atoms_per_sec = 2.0e8;
+  /// CPU integrator streaming cost per atom (pos+vel+force read/write).
+  double cpu_bytes_per_atom = 72.0;
+  /// DBA dirty bytes for the position stream. Positions advance by v*dt
+  /// (~1e-3 relative) per step, so their changes sit in the low two bytes
+  /// — measured directly on the real LJ system (bench_lammps_generality).
+  std::uint8_t pos_dirty_bytes = 2;
+};
+
+enum class MdMode {
+  kExplicitCopy,   ///< cudaMemcpy-style baseline.
+  kTecoCxl,        ///< Update-protocol streaming.
+  kTecoReduction,  ///< + DBA on positions.
+};
+
+struct MdStepBreakdown {
+  sim::Time force_compute = 0.0;
+  sim::Time force_xfer_exposed = 0.0;
+  sim::Time integrate = 0.0;
+  sim::Time pos_xfer_exposed = 0.0;
+  std::uint64_t bytes_to_cpu = 0;
+  std::uint64_t bytes_to_device = 0;
+
+  sim::Time total() const {
+    return force_compute + force_xfer_exposed + integrate + pos_xfer_exposed;
+  }
+  sim::Time comm_exposed() const {
+    return force_xfer_exposed + pos_xfer_exposed;
+  }
+  double comm_fraction() const {
+    return total() > 0.0 ? comm_exposed() / total() : 0.0;
+  }
+};
+
+MdStepBreakdown simulate_md_step(MdMode mode, const MdWorkload& w,
+                                 const offload::Calibration& cal);
+
+/// Section VII headline numbers.
+struct MdGeneralityReport {
+  double improvement = 0.0;        ///< 1 - teco_red/baseline.
+  double volume_reduction = 0.0;   ///< DBA wire-volume saving.
+  double cxl_contribution = 0.0;   ///< Share of improvement from CXL alone.
+  double dba_contribution = 0.0;
+  MdStepBreakdown baseline, cxl, reduction;
+};
+
+MdGeneralityReport md_generality_report(const MdWorkload& w,
+                                        const offload::Calibration& cal);
+
+}  // namespace teco::md

@@ -1,0 +1,35 @@
+// Physical-address helpers shared by the cache, coherence and CXL layers.
+#pragma once
+
+#include <cstdint>
+
+namespace teco::mem {
+
+using Addr = std::uint64_t;
+
+/// Cache lines are 64 B throughout (Table II, CXL.cache granularity).
+inline constexpr std::uint64_t kLineBytes = 64;
+inline constexpr std::uint64_t kLineShift = 6;
+inline constexpr std::uint64_t kWordsPerLine = kLineBytes / 4;
+
+constexpr Addr line_base(Addr a) { return a & ~(kLineBytes - 1); }
+constexpr Addr line_index(Addr a) { return a >> kLineShift; }
+constexpr bool line_aligned(Addr a) { return (a & (kLineBytes - 1)) == 0; }
+
+/// Half-open byte range [base, base+bytes), used for giant-cache regions.
+struct Region {
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+
+  bool contains(Addr a) const { return a >= base && a < base + bytes; }
+  bool contains_line(Addr a) const {
+    const Addr lb = line_base(a);
+    return lb >= base && lb + kLineBytes <= base + bytes;
+  }
+  std::uint64_t lines() const { return (bytes + kLineBytes - 1) / kLineBytes; }
+  bool overlaps(const Region& o) const {
+    return base < o.base + o.bytes && o.base < base + bytes;
+  }
+};
+
+}  // namespace teco::mem

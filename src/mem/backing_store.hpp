@@ -1,0 +1,70 @@
+// Sparse byte-addressable backing store.
+//
+// Holds the actual contents of CPU memory and the accelerator giant cache in
+// the data-carrying paths (DBA merge correctness, coherence data movement
+// tests). Pages are allocated lazily at cache-line granularity; untouched
+// lines read as zero, mirroring zero-initialized simulated DRAM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+
+#include "mem/address.hpp"
+
+namespace teco::mem {
+
+class BackingStore {
+ public:
+  using Line = std::array<std::uint8_t, kLineBytes>;
+
+  /// Read the 64-byte line containing `addr` (zeros if never written).
+  Line read_line(Addr addr) const {
+    const auto it = lines_.find(line_index(addr));
+    if (it == lines_.end()) return Line{};
+    return it->second;
+  }
+
+  void write_line(Addr addr, const Line& data) {
+    lines_[line_index(addr)] = data;
+  }
+
+  /// Byte-granular accessors that may straddle lines.
+  void write(Addr addr, std::span<const std::uint8_t> bytes) {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      Line& line = lines_[line_index(addr + i)];
+      line[(addr + i) % kLineBytes] = bytes[i];
+    }
+  }
+
+  void read(Addr addr, std::span<std::uint8_t> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const auto it = lines_.find(line_index(addr + i));
+      out[i] = it == lines_.end() ? 0 : it->second[(addr + i) % kLineBytes];
+    }
+  }
+
+  float read_f32(Addr addr) const {
+    std::uint8_t buf[4];
+    read(addr, buf);
+    float f;
+    std::memcpy(&f, buf, 4);
+    return f;
+  }
+
+  void write_f32(Addr addr, float f) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &f, 4);
+    write(addr, buf);
+  }
+
+  std::size_t resident_lines() const { return lines_.size(); }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Line> lines_;
+};
+
+}  // namespace teco::mem

@@ -1,0 +1,57 @@
+#include "mem/dram.hpp"
+
+namespace teco::mem {
+
+Dram::Dram(DramConfig cfg) : cfg_(cfg), banks_(cfg.banks) {}
+
+std::uint64_t Dram::access(Addr addr, bool is_write) {
+  const std::uint64_t global_row = addr / cfg_.row_bytes;
+  auto& bank = banks_[global_row % cfg_.banks];
+  const std::uint64_t row = global_row / cfg_.banks;
+
+  std::uint64_t cycles = 0;
+  if (!bank.open) {
+    cycles += cfg_.t_rcd;  // ACT.
+    bank.open = true;
+    bank.row = row;
+    ++stats_.row_misses;
+  } else if (bank.row != row) {
+    // Close the open row (honoring write recovery), open the new one.
+    if (bank.has_last && bank.last_was_write) cycles += cfg_.t_wr;
+    cycles += cfg_.t_rp + cfg_.t_rcd;
+    bank.row = row;
+    ++stats_.row_misses;
+  } else {
+    cycles += cfg_.t_ccd;
+    ++stats_.row_hits;
+  }
+
+  // Bus turnaround between mixed read/write streams on the same bank.
+  if (bank.has_last && bank.last_was_write != is_write) {
+    cycles += bank.last_was_write ? cfg_.t_wtr : cfg_.t_rtw;
+  }
+  cycles += cfg_.t_cas;
+
+  bank.last_was_write = is_write;
+  bank.has_last = true;
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  stats_.cycles += cycles;
+  return cycles;
+}
+
+std::uint64_t Dram::replay(const std::vector<std::pair<Addr, bool>>& trace) {
+  std::uint64_t total = 0;
+  for (const auto& [addr, is_write] : trace) total += access(addr, is_write);
+  return total;
+}
+
+void Dram::reset() {
+  for (auto& b : banks_) b = BankState{};
+  stats_ = DramStats{};
+}
+
+}  // namespace teco::mem

@@ -1,0 +1,133 @@
+#include "mem/hierarchy.hpp"
+
+namespace teco::mem {
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1, CacheConfig l2,
+                               CacheConfig llc)
+    : l1_(l1), l2_(l2), llc_(llc) {
+  // Dirty victims cascade down one level; LLC victims hit memory.
+  l1_.set_writeback_fn(
+      [this](Addr a, std::uint8_t s) { l2_.insert(a, s, /*dirty=*/true); });
+  l2_.set_writeback_fn(
+      [this](Addr a, std::uint8_t s) { llc_.insert(a, s, /*dirty=*/true); });
+  llc_.set_writeback_fn([this](Addr a, std::uint8_t) {
+    ++memory_writebacks_;
+    if (mem_writeback_) mem_writeback_(a);
+  });
+}
+
+Cache& CacheHierarchy::cache(int level) {
+  switch (level) {
+    case 0: return l1_;
+    case 1: return l2_;
+    default: return llc_;
+  }
+}
+
+CacheLineMeta& CacheHierarchy::fill(int /*level*/, Addr addr) {
+  // Find the line in a lower level and migrate it up to L1, preserving the
+  // dirty bit; allocate from memory on a full miss.
+  for (int lower = 1; lower <= 2; ++lower) {
+    Cache& c = cache(lower);
+    if (const CacheLineMeta* meta = c.peek(addr); meta != nullptr) {
+      const bool dirty = meta->dirty;
+      const std::uint8_t state = meta->state;
+      c.invalidate(addr, /*writeback_on_invalidate=*/false);
+      return l1_.insert(addr, state, dirty);
+    }
+  }
+  ++memory_fetches_;
+  return l1_.insert(addr, 0, /*dirty=*/false);
+}
+
+void CacheHierarchy::access(Addr addr, bool write) {
+  CacheLineMeta* meta = l1_.lookup(addr);
+  if (meta == nullptr) {
+    // Count the lower-level lookups in their stats too.
+    if (l2_.lookup(addr) == nullptr) llc_.lookup(addr);
+    meta = &fill(0, addr);
+  }
+  if (write) meta->dirty = true;
+}
+
+void CacheHierarchy::load(Addr addr) { access(addr, false); }
+void CacheHierarchy::store(Addr addr) { access(addr, true); }
+
+void CacheHierarchy::stream_region(Addr base, std::uint64_t bytes,
+                                   bool writes) {
+  for (Addr a = line_base(base); a < base + bytes; a += kLineBytes) {
+    load(a);
+    if (writes) store(a);
+  }
+}
+
+std::uint64_t CacheHierarchy::flush_all() {
+  const std::uint64_t before = memory_writebacks_;
+  // Dirty lines cascade: L1 -> L2 -> LLC -> memory. flush_dirty() leaves
+  // clean copies resident, which is fine for accounting.
+  l1_.flush_dirty();
+  l2_.flush_dirty();
+  llc_.flush_dirty();
+  return memory_writebacks_ - before;
+}
+
+HierarchyStats CacheHierarchy::stats() const {
+  HierarchyStats s;
+  s.l1 = l1_.stats();
+  s.l2 = l2_.stats();
+  s.llc = llc_.stats();
+  s.memory_writebacks = memory_writebacks_;
+  s.memory_fetches = memory_fetches_;
+  return s;
+}
+
+void CacheHierarchy::set_mem_writeback_fn(MemWritebackFn fn) {
+  mem_writeback_ = std::move(fn);
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  llc_.reset();
+  memory_writebacks_ = 0;
+  memory_fetches_ = 0;
+}
+
+AdamSweepResult simulate_adam_sweep(std::uint64_t n_params,
+                                    CacheHierarchy* hierarchy) {
+  CacheHierarchy local;
+  CacheHierarchy& h = hierarchy != nullptr ? *hierarchy : local;
+
+  const std::uint64_t bytes = n_params * 4;
+  constexpr Addr kParams = 0x1000'0000;
+  constexpr Addr kGrads = 0x3000'0000;
+  constexpr Addr kM = 0x5000'0000;
+  constexpr Addr kV = 0x7000'0000;
+
+  AdamSweepResult r;
+  r.param_lines = (bytes + kLineBytes - 1) / kLineBytes;
+  h.set_mem_writeback_fn([&](Addr a) {
+    if (a >= kParams && a < kParams + bytes) {
+      ++r.param_writebacks;
+    } else {
+      ++r.other_writebacks;
+    }
+  });
+
+  // Fused streaming pass, one cache line of each array at a time — the
+  // access shape of the AVX512 CPU-Adam: p RW, g R, m RW, v RW.
+  for (std::uint64_t off = 0; off < bytes; off += kLineBytes) {
+    h.load(kParams + off);
+    h.load(kGrads + off);
+    h.load(kM + off);
+    h.load(kV + off);
+    h.store(kParams + off);
+    h.store(kM + off);
+    h.store(kV + off);
+  }
+  h.flush_all();
+  r.stats = h.stats();
+  return r;
+}
+
+}  // namespace teco::mem

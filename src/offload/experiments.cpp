@@ -1,0 +1,114 @@
+#include "offload/experiments.hpp"
+
+#include <algorithm>
+
+namespace teco::offload {
+
+SpeedupCell speedup_vs_baseline(RuntimeKind treatment,
+                                const dl::ModelConfig& model,
+                                std::uint32_t batch, const Calibration& cal,
+                                const StepOptions& opts) {
+  SpeedupCell cell;
+  cell.model = model.name;
+  cell.batch = batch;
+  if (!fits_on_gpu(model, batch)) {
+    cell.valid = false;
+    return cell;
+  }
+  cell.baseline =
+      simulate_step(RuntimeKind::kZeroOffload, model, batch, cal, opts);
+  cell.treatment = simulate_step(treatment, model, batch, cal, opts);
+  cell.speedup = cell.baseline.total() / cell.treatment.total();
+  cell.valid = true;
+  return cell;
+}
+
+std::vector<SpeedupCell> speedup_grid(RuntimeKind treatment,
+                                      const std::vector<dl::ModelConfig>& ms,
+                                      const std::vector<std::uint32_t>& batches,
+                                      const Calibration& cal,
+                                      const StepOptions& opts) {
+  std::vector<SpeedupCell> out;
+  for (const auto& m : ms) {
+    if (m.full_graph_only) {
+      // GCNII only supports full-graph training: one cell, batch ignored.
+      out.push_back(speedup_vs_baseline(treatment, m, 1, cal, opts));
+      continue;
+    }
+    for (const auto b : batches) {
+      out.push_back(speedup_vs_baseline(treatment, m, b, cal, opts));
+    }
+  }
+  return out;
+}
+
+VolumeReport volume_report(RuntimeKind treatment, const dl::ModelConfig& model,
+                           std::uint32_t batch, const Calibration& cal,
+                           const StepOptions& opts) {
+  const auto base =
+      simulate_step(RuntimeKind::kZeroOffload, model, batch, cal, opts);
+  const auto treat = simulate_step(treatment, model, batch, cal, opts);
+  VolumeReport r;
+  r.base_to_device = base.bytes_to_device;
+  r.base_to_cpu = base.bytes_to_cpu;
+  r.treat_to_device = treat.bytes_to_device;
+  r.treat_to_cpu = treat.bytes_to_cpu;
+  r.param_volume_reduction =
+      base.bytes_to_device == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(treat.bytes_to_device) /
+                      static_cast<double>(base.bytes_to_device);
+  r.comm_overhead_reduction =
+      base.comm_exposed() <= 0.0
+          ? 0.0
+          : 1.0 - treat.comm_exposed() / base.comm_exposed();
+  return r;
+}
+
+sim::Time schedule_training_time(RuntimeKind kind, const dl::ModelConfig& m,
+                                 std::uint32_t batch, std::size_t steps,
+                                 std::size_t act_aft_steps,
+                                 const Calibration& cal,
+                                 const StepOptions& opts) {
+  if (kind != RuntimeKind::kTecoReduction || act_aft_steps == 0) {
+    return simulate_step(kind, m, batch, cal, opts).total() *
+           static_cast<double>(steps);
+  }
+  const std::size_t pre = std::min(act_aft_steps, steps);
+  const auto before =
+      simulate_step(RuntimeKind::kTecoCxl, m, batch, cal, opts).total();
+  const auto after =
+      simulate_step(RuntimeKind::kTecoReduction, m, batch, cal, opts).total();
+  return before * static_cast<double>(pre) +
+         after * static_cast<double>(steps - pre);
+}
+
+HeadlineSummary headline_summary(const std::vector<dl::ModelConfig>& models,
+                                 const std::vector<std::uint32_t>& batches,
+                                 const Calibration& cal,
+                                 const StepOptions& opts) {
+  HeadlineSummary s;
+  double time_sum = 0.0, comm_sum = 0.0;
+  const auto cells =
+      speedup_grid(RuntimeKind::kTecoReduction, models, batches, cal, opts);
+  for (const auto& c : cells) {
+    if (!c.valid) continue;
+    const double time_red = 1.0 - c.treatment.total() / c.baseline.total();
+    const double comm_red =
+        c.baseline.comm_exposed() <= 0.0
+            ? 0.0
+            : 1.0 - c.treatment.comm_exposed() / c.baseline.comm_exposed();
+    time_sum += time_red;
+    comm_sum += comm_red;
+    s.max_time_reduction = std::max(s.max_time_reduction, time_red);
+    s.max_comm_reduction = std::max(s.max_comm_reduction, comm_red);
+    ++s.cells;
+  }
+  if (s.cells > 0) {
+    s.avg_time_reduction = time_sum / static_cast<double>(s.cells);
+    s.avg_comm_reduction = comm_sum / static_cast<double>(s.cells);
+  }
+  return s;
+}
+
+}  // namespace teco::offload

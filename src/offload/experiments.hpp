@@ -1,0 +1,74 @@
+// Experiment-level aggregations over simulate_step (DESIGN.md Section 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "offload/runtime.hpp"
+
+namespace teco::offload {
+
+/// One cell of a speedup grid (Fig. 11 / Tables IV, VI). `valid` is false
+/// when the configuration OOMs under the baseline (T5-large at batch 16).
+struct SpeedupCell {
+  std::string model;
+  std::uint32_t batch = 0;
+  double speedup = 0.0;
+  bool valid = false;
+  StepBreakdown baseline;
+  StepBreakdown treatment;
+};
+
+SpeedupCell speedup_vs_baseline(RuntimeKind treatment,
+                                const dl::ModelConfig& model,
+                                std::uint32_t batch, const Calibration& cal,
+                                const StepOptions& opts = {});
+
+/// Full model x batch grid.
+std::vector<SpeedupCell> speedup_grid(RuntimeKind treatment,
+                                      const std::vector<dl::ModelConfig>& ms,
+                                      const std::vector<std::uint32_t>& batches,
+                                      const Calibration& cal,
+                                      const StepOptions& opts = {});
+
+/// Section VIII-C accounting: per-direction payload volume and the exposed
+/// communication reduction of a treatment vs. the ZeRO-Offload baseline.
+struct VolumeReport {
+  std::uint64_t base_to_device = 0, base_to_cpu = 0;
+  std::uint64_t treat_to_device = 0, treat_to_cpu = 0;
+  double param_volume_reduction = 0.0;  ///< 1 - treat_down / base_down.
+  double comm_overhead_reduction = 0.0; ///< 1 - exposed_treat / exposed_base.
+};
+
+VolumeReport volume_report(RuntimeKind treatment, const dl::ModelConfig& model,
+                           std::uint32_t batch, const Calibration& cal,
+                           const StepOptions& opts = {});
+
+/// Training time for a schedule that activates DBA after `act_aft_steps`
+/// (before activation, steps run as TECO-CXL). Used by Fig. 13 and the
+/// Table VII hour-scale comparisons.
+sim::Time schedule_training_time(RuntimeKind kind, const dl::ModelConfig& m,
+                                 std::uint32_t batch, std::size_t steps,
+                                 std::size_t act_aft_steps,
+                                 const Calibration& cal,
+                                 const StepOptions& opts = {});
+
+/// The paper's headline aggregates over a grid of cells: average and max
+/// training-time reduction, average and max communication-overhead
+/// reduction ("33.7 % avg / up to 55.4 %" and "93.7 % avg / up to 100 %").
+struct HeadlineSummary {
+  double avg_time_reduction = 0.0;
+  double max_time_reduction = 0.0;
+  double avg_comm_reduction = 0.0;
+  double max_comm_reduction = 0.0;
+  std::size_t cells = 0;
+};
+
+HeadlineSummary headline_summary(const std::vector<dl::ModelConfig>& models,
+                                 const std::vector<std::uint32_t>& batches,
+                                 const Calibration& cal,
+                                 const StepOptions& opts = {});
+
+}  // namespace teco::offload

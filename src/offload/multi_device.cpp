@@ -1,0 +1,68 @@
+#include "offload/multi_device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace teco::offload {
+
+MultiDeviceStep simulate_multi_device_step(RuntimeKind kind,
+                                           const dl::ModelConfig& model,
+                                           const MultiDeviceConfig& mdc,
+                                           const Calibration& cal,
+                                           const StepOptions& opts) {
+  if (mdc.devices == 0) throw std::invalid_argument("devices > 0");
+  if (mdc.global_batch % mdc.devices != 0) {
+    throw std::invalid_argument("global batch must divide evenly");
+  }
+  const std::uint32_t per_dev_batch = mdc.global_batch / mdc.devices;
+
+  MultiDeviceStep out;
+  // Every device runs the single-device timeline on its shard. With
+  // private links the per-device breakdown applies as-is; behind a shared
+  // CXL switch each device effectively sees 1/N of the upstream bandwidth
+  // (the fair-share steady state of N synchronized identical streams).
+  if (mdc.shared_upstream && mdc.devices > 1) {
+    Calibration shared = cal;
+    shared.phy.raw_bandwidth /= static_cast<double>(mdc.devices);
+    out.per_device = simulate_step(kind, model, per_dev_batch, shared, opts);
+  } else {
+    out.per_device = simulate_step(kind, model, per_dev_batch, cal, opts);
+  }
+
+  // CPU-side gradient reduction: read N streams + write one, sharing the
+  // CPU memory bandwidth (it is one socket doing all the summing). The
+  // single-device timeline already includes one clip pass; the reduction
+  // of the remaining (N-1) streams is the extra serial stage.
+  const double extra_streams = static_cast<double>(mdc.devices - 1);
+  out.grad_reduce = extra_streams *
+                    static_cast<double>(model.gradient_bytes()) * 2.0 /
+                    cal.cpu_stream_bw;
+
+  out.step_total = out.per_device.total() + out.grad_reduce;
+  out.comm_fraction = out.per_device.comm_exposed() / out.step_total;
+  return out;
+}
+
+std::vector<ScalingPoint> scaling_sweep(const dl::ModelConfig& model,
+                                        std::uint32_t global_batch,
+                                        const std::vector<std::uint32_t>& ns,
+                                        const Calibration& cal) {
+  std::vector<ScalingPoint> out;
+  for (const auto n : ns) {
+    MultiDeviceConfig mdc;
+    mdc.devices = n;
+    mdc.global_batch = global_batch;
+    const auto base = simulate_multi_device_step(RuntimeKind::kZeroOffload,
+                                                 model, mdc, cal);
+    const auto teco = simulate_multi_device_step(
+        RuntimeKind::kTecoReduction, model, mdc, cal);
+    out.push_back(ScalingPoint{n, base.step_total, teco.step_total,
+                               base.step_total / teco.step_total,
+                               base.per_device.comm_exposed() /
+                                   base.step_total,
+                               fits_on_gpu(model, global_batch / n)});
+  }
+  return out;
+}
+
+}  // namespace teco::offload

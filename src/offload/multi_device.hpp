@@ -1,0 +1,70 @@
+// Multi-accelerator data-parallel extension of the TECO step model.
+//
+// The paper evaluates one GPU but motivates TECO with multi-GPU clusters,
+// where the global batch cannot grow (convergence) so the per-GPU batch
+// shrinks and communication dominates — exactly where DPU fails
+// (Section II-A). This module extends the timeline to N accelerators in
+// ZeRO-Offload-style data parallelism sharing one CPU:
+//
+//  * each device trains batch/N samples and ships a full gradient set over
+//    its OWN CXL/PCIe link (links are per-slot, so transfers parallelize);
+//  * the CPU reduces the N gradient streams (memory-bound pass over N x
+//    grad_bytes), clips, runs one Adam sweep, and broadcasts parameters
+//    down every link in parallel;
+//  * CPU memory bandwidth is shared: concurrent reductions divide it.
+//
+// The TECO runtimes stream line-grained updates exactly as in the
+// single-device model; the reduction pass is the extra serial CPU stage.
+#pragma once
+
+#include <cstdint>
+
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "offload/runtime.hpp"
+
+namespace teco::offload {
+
+struct MultiDeviceConfig {
+  std::uint32_t devices = 4;
+  /// Global batch, split evenly across devices (the convergence-limited
+  /// regime the paper describes).
+  std::uint32_t global_batch = 32;
+  /// Topology: each device on its own x16 slot (false), or all devices
+  /// behind one CXL switch sharing a single x16 upstream port (true) —
+  /// transfers then contend for 1/N of the link each.
+  bool shared_upstream = false;
+};
+
+struct MultiDeviceStep {
+  StepBreakdown per_device;     ///< Worst-case device timeline.
+  sim::Time grad_reduce = 0.0;  ///< CPU reduction of N gradient streams.
+  sim::Time step_total = 0.0;
+  double comm_fraction = 0.0;
+};
+
+MultiDeviceStep simulate_multi_device_step(RuntimeKind kind,
+                                           const dl::ModelConfig& model,
+                                           const MultiDeviceConfig& mdc,
+                                           const Calibration& cal,
+                                           const StepOptions& opts = {});
+
+/// Strong-scaling sweep: speedup of TECO-Reduction over ZeRO-Offload as
+/// device count grows at fixed global batch.
+struct ScalingPoint {
+  std::uint32_t devices = 0;
+  sim::Time baseline = 0.0;
+  sim::Time teco = 0.0;
+  double speedup = 0.0;
+  double baseline_comm_fraction = 0.0;
+  /// False when the per-device batch would OOM a 32 GB card under the
+  /// baseline (the row is still reported, flagged hypothetical).
+  bool fits = true;
+};
+
+std::vector<ScalingPoint> scaling_sweep(const dl::ModelConfig& model,
+                                        std::uint32_t global_batch,
+                                        const std::vector<std::uint32_t>& ns,
+                                        const Calibration& cal);
+
+}  // namespace teco::offload

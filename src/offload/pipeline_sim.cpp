@@ -1,0 +1,140 @@
+#include "offload/pipeline_sim.hpp"
+
+#include <algorithm>
+
+#include "mem/address.hpp"
+
+namespace teco::offload {
+
+namespace {
+using cxl::Channel;
+using sim::Time;
+}  // namespace
+
+PipelineResult simulate_pipeline(RuntimeKind kind,
+                                 const dl::ModelConfig& model,
+                                 std::uint32_t batch, std::size_t steps,
+                                 const Calibration& cal,
+                                 const StepOptions& opts) {
+  PipelineResult out;
+  if (steps == 0) return out;
+
+  if (kind == RuntimeKind::kCxlInvalidation) {
+    // Demand-driven transfers serialize inside each step; nothing
+    // pipelines across boundaries.
+    const Time per = simulate_step(kind, model, batch, cal, opts).total();
+    out.step_durations.assign(steps, per);
+    out.total = per * static_cast<double>(steps);
+    out.first_step = per;
+    out.steady_step = per;
+    return out;
+  }
+
+  const StepInputs in = compute_step_inputs(model, batch, cal);
+  const bool teco =
+      kind == RuntimeKind::kTecoCxl || kind == RuntimeKind::kTecoReduction;
+  const bool dpu = kind == RuntimeKind::kZeroOffloadDpu;
+  const auto& phy = cal.phy;
+
+  Channel up("pipe-up", teco ? phy.cxl_bandwidth() : phy.dma_bandwidth(),
+             teco ? phy.packet_latency : phy.dma_setup_latency,
+             cal.cxl_queue_entries);
+  Channel down("pipe-down", teco ? phy.cxl_bandwidth() : phy.dma_bandwidth(),
+               teco ? phy.packet_latency : phy.dma_setup_latency,
+               cal.cxl_queue_entries);
+
+  const std::uint64_t param_payload =
+      kind == RuntimeKind::kTecoReduction && opts.dirty_bytes < 4
+          ? mem::kWordsPerLine * opts.dirty_bytes
+          : mem::kLineBytes;
+
+  std::vector<Time> params_delivered(steps, 0.0);
+  Time gpu_free = 0.0, cpu_free = 0.0, prev_end = 0.0;
+  out.step_durations.reserve(steps);
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Forward may only use parameters that have landed on the device.
+    // DPU: the optimizer remains synchronous with the training loop
+    // (optimizer.step() blocks), but the TRANSFER of step i overlaps step
+    // i+1's compute — the device only needs step i-1's delivery.
+    Time fwd_start = gpu_free;
+    if (dpu) {
+      fwd_start = std::max(fwd_start, cpu_free);
+      if (i >= 2) fwd_start = std::max(fwd_start, params_delivered[i - 2]);
+    } else if (i >= 1) {
+      fwd_start = std::max(fwd_start, params_delivered[i - 1]);
+    }
+    const Time bwd_start = fwd_start + in.forward;
+    const Time bwd_end = bwd_start + in.backward;
+    gpu_free = bwd_end;
+
+    // Gradients.
+    Time grads_done;
+    if (teco) {
+      grads_done = paced_line_stream(up, bwd_start, in.backward,
+                                     in.grad_lines, mem::kLineBytes,
+                                     cal.pacing_chunks);
+    } else {
+      const std::uint64_t n_flushes =
+          (in.grad_bytes + in.grad_buffer_bytes - 1) / in.grad_buffer_bytes;
+      grads_done = bwd_end;
+      std::uint64_t sent = 0;
+      for (std::uint64_t fl = 0; fl < n_flushes; ++fl) {
+        const std::uint64_t upto =
+            std::min(in.grad_bytes, (fl + 1) * in.grad_buffer_bytes);
+        const Time ready =
+            bwd_start + in.backward * static_cast<double>(upto) /
+                            static_cast<double>(in.grad_bytes);
+        grads_done =
+            up.submit(ready, cxl::data_packet(cxl::MessageType::kData, 0,
+                                              upto - sent))
+                .delivered;
+        sent = upto;
+      }
+    }
+
+    // CPU phases.
+    const Time cpu_start = std::max({bwd_end, grads_done, cpu_free});
+    const Time adam_start = cpu_start + in.grad_clip;
+    const Time opt_end = adam_start + in.adam;
+    cpu_free = opt_end;
+
+    // Parameter transfer.
+    if (teco) {
+      Time done = paced_line_stream(down, adam_start, in.adam,
+                                    in.param_lines, param_payload,
+                                    cal.pacing_chunks);
+      if (kind == RuntimeKind::kTecoReduction) done += cal.dba_latency;
+      params_delivered[i] = done;
+    } else {
+      const std::size_t chunks =
+          std::max<std::size_t>(1, cal.param_staging_chunks);
+      const double chunk_bytes =
+          static_cast<double>(in.param_bytes) / static_cast<double>(chunks);
+      const Time fill = chunk_bytes / cal.pinned_copy_bw;
+      Time done = opt_end;
+      for (std::size_t j = 0; j < chunks; ++j) {
+        const Time ready = opt_end + fill * static_cast<double>(j + 1);
+        done = down.submit(ready,
+                           cxl::data_packet(
+                               cxl::MessageType::kData, 0,
+                               static_cast<std::uint64_t>(chunk_bytes)))
+                   .delivered;
+      }
+      params_delivered[i] = done;
+    }
+
+    // Step boundary: when this step's state is committed. Under DPU the
+    // transfer spills into the next step by design.
+    const Time end = dpu ? opt_end : std::max(opt_end, params_delivered[i]);
+    out.step_durations.push_back(end - prev_end);
+    prev_end = end;
+  }
+
+  out.total = std::max(prev_end, params_delivered.back());
+  out.first_step = out.step_durations.front();
+  out.steady_step = out.step_durations.back();
+  return out;
+}
+
+}  // namespace teco::offload

@@ -1,0 +1,92 @@
+// Training-step timelines for every evaluated runtime (Sections II, IV, VI).
+//
+// Each runtime schedules the five phases of a ZeRO-Offload training step
+// (Fig. 1) against the interconnect model and reports how much transfer time
+// is exposed on the critical path — the quantity every table and figure in
+// the paper's evaluation is built from.
+//
+//  kZeroOffload     — the baseline: explicit DMA copies. Gradients flush
+//                     from a GPU-side buffer during backward; CPU Adam runs
+//                     after ALL gradients arrive; parameters stage through a
+//                     double buffer after the optimizer and the transfer is
+//                     largely exposed (Section II-A).
+//  kZeroOffloadDpu  — baseline + one-step delayed parameter update: the
+//                     parameter transfer overlaps the NEXT step's GPU
+//                     compute (risks convergence; needs high arithmetic
+//                     intensity).
+//  kCxlInvalidation — TECO hardware with stock invalidation MESI: updates
+//                     send invalidations; data crosses the link on demand
+//                     reads, serialized onto the consumer's critical path
+//                     (the +56.6 % motivation of Section IV-A2).
+//  kTecoCxl         — the update-protocol extension: cache-line-grained
+//                     pushes stream during the producer's compute window.
+//  kTecoReduction   — kTecoCxl + dirty-byte aggregation on the parameter
+//                     stream (half the volume at dirty_bytes = 2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cxl/channel.hpp"
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "offload/step_model.hpp"
+#include "sim/time.hpp"
+
+namespace teco::offload {
+
+enum class RuntimeKind {
+  kZeroOffload,
+  kZeroOffloadDpu,
+  kCxlInvalidation,
+  kTecoCxl,
+  kTecoReduction,
+};
+
+std::string_view to_string(RuntimeKind k);
+
+struct StepBreakdown {
+  // The five Fig. 12 components.
+  sim::Time forward_backward = 0.0;
+  sim::Time grad_transfer_exposed = 0.0;
+  sim::Time grad_optimizer = 0.0;   ///< Gradient clipping on CPU.
+  sim::Time param_optimizer = 0.0;  ///< Adam sweep on CPU.
+  sim::Time param_transfer_exposed = 0.0;
+
+  // Wire accounting (payload bytes, per direction).
+  std::uint64_t bytes_to_cpu = 0;
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t packets = 0;
+
+  sim::Time total() const {
+    return forward_backward + grad_transfer_exposed + grad_optimizer +
+           param_optimizer + param_transfer_exposed;
+  }
+  sim::Time comm_exposed() const {
+    return grad_transfer_exposed + param_transfer_exposed;
+  }
+  double comm_fraction() const {
+    const sim::Time t = total();
+    return t > 0.0 ? comm_exposed() / t : 0.0;
+  }
+};
+
+struct StepOptions {
+  std::uint8_t dirty_bytes = 2;  ///< For kTecoReduction.
+};
+
+/// Simulate one steady-state training step.
+StepBreakdown simulate_step(RuntimeKind kind, const dl::ModelConfig& model,
+                            std::uint32_t batch, const Calibration& cal,
+                            const StepOptions& opts = {});
+
+/// Stream `total_lines` cache-line packets, produced uniformly across
+/// [t_start, t_start + window], through `ch` in `chunks` paced bursts.
+/// Returns the delivery time of the final line. Shared by the single-step
+/// timelines and the multi-step pipeline simulator.
+sim::Time paced_line_stream(cxl::Channel& ch, sim::Time t_start,
+                            sim::Time window, std::uint64_t total_lines,
+                            std::uint64_t line_payload_bytes,
+                            std::size_t chunks);
+
+}  // namespace teco::offload

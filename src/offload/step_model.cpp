@@ -1,0 +1,80 @@
+#include "offload/step_model.hpp"
+
+#include "mem/address.hpp"
+
+namespace teco::offload {
+
+double flops_per_sample(const dl::ModelConfig& m) {
+  const double h = m.hidden_size;
+  const double s = m.seq_len;
+  const double layers = m.n_layers;
+  if (m.kind == dl::ModelKind::kGraphNeuralNetwork) {
+    // Dense propagation over the full graph: per layer, each node does a
+    // h x h transform plus neighborhood aggregation. seq_len = node count.
+    const double nodes = s;
+    return 3.0 * layers * nodes * (2.0 * h * h + 2.0 * nodes * h);
+  }
+  // Transformer: ~24 h^2 (projections + MLP) + 4 s h (attention scores)
+  // FLOPs per token per layer, x3 for forward + backward.
+  return 3.0 * layers * s * (24.0 * h * h + 4.0 * s * h);
+}
+
+StepInputs compute_step_inputs(const dl::ModelConfig& m, std::uint32_t batch,
+                               const Calibration& cal) {
+  StepInputs in;
+
+  // Full-graph models (GCNII) run one graph per step regardless of batch
+  // and keep the SMs busy; batched models follow the occupancy curve.
+  double work_flops;
+  double eff;
+  if (m.full_graph_only) {
+    work_flops = flops_per_sample(m);
+    eff = cal.gpu_peak_flops * 16.0 / (16.0 + cal.occupancy_half_batch);
+  } else {
+    work_flops = flops_per_sample(m) * static_cast<double>(batch);
+    eff = cal.gpu_peak_flops * static_cast<double>(batch) /
+          (static_cast<double>(batch) + cal.occupancy_half_batch);
+  }
+  const sim::Time compute = work_flops / eff;
+  const sim::Time floor = cal.gpu_layer_floor * m.n_layers;
+  // Backward is ~2x forward in both FLOPs and kernel count. Billion-scale
+  // models train with activation checkpointing (see fits_on_gpu), which
+  // re-runs the forward pass during backward: +50 % backward time.
+  in.forward = (compute + floor) / 3.0;
+  in.backward = 2.0 * (compute + floor) / 3.0;
+  if (m.n_params > 1'000'000'000ull) in.backward *= 1.5;
+
+  const double p = static_cast<double>(m.n_params);
+  in.grad_clip = p * cal.clip_bytes_per_param / cal.cpu_stream_bw;
+  in.adam = p * cal.adam_bytes_per_param / cal.cpu_stream_bw;
+
+  in.param_bytes = m.param_bytes();
+  in.grad_bytes = m.gradient_bytes();
+  in.grad_buffer_bytes = m.gradient_buffer_bytes();
+  in.param_lines = (in.param_bytes + mem::kLineBytes - 1) / mem::kLineBytes;
+  in.grad_lines = (in.grad_bytes + mem::kLineBytes - 1) / mem::kLineBytes;
+  return in;
+}
+
+bool fits_on_gpu(const dl::ModelConfig& m, std::uint32_t batch,
+                 std::uint64_t gpu_bytes) {
+  // ZeRO-Offload keeps FP16 parameters + the gradient buffer on the GPU.
+  const std::uint64_t params_fp16 = m.n_params * 2;
+  // Activation footprint: ~80 B per (token, layer, hidden-unit/1) without
+  // checkpointing; billion-scale models enable activation checkpointing
+  // (store layer inputs only, ~2 B, + one layer of recompute space).
+  const double tokens = static_cast<double>(batch) * m.seq_len;
+  const double units = tokens * m.hidden_size * m.n_layers;
+  double act_bytes;
+  if (m.n_params > 1'000'000'000ull) {
+    act_bytes = units * 2.0 + tokens * m.hidden_size * 80.0;
+  } else {
+    act_bytes = units * 80.0;
+  }
+  const double total = static_cast<double>(params_fp16) +
+                       static_cast<double>(m.gradient_buffer_bytes()) +
+                       act_bytes;
+  return total <= static_cast<double>(gpu_bytes);
+}
+
+}  // namespace teco::offload

@@ -1,0 +1,44 @@
+// Analytic phase-duration model for one training step.
+//
+// Converts a ModelConfig + batch size into the raw compute durations and
+// transfer volumes the runtime timelines schedule. The five phases mirror
+// ZeRO-Offload's step (Fig. 1): forward, backward, gradient transfer,
+// gradient clipping + Adam on CPU, parameter transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "sim/time.hpp"
+
+namespace teco::offload {
+
+struct StepInputs {
+  sim::Time forward = 0.0;
+  sim::Time backward = 0.0;
+  sim::Time grad_clip = 0.0;   ///< CPU pass, gradients are local.
+  sim::Time adam = 0.0;        ///< CPU optimizer sweep.
+  std::uint64_t param_bytes = 0;
+  std::uint64_t grad_bytes = 0;
+  std::uint64_t grad_buffer_bytes = 0;  ///< ZeRO-Offload GPU-side buffer.
+  std::uint64_t param_lines = 0;
+  std::uint64_t grad_lines = 0;
+};
+
+/// Forward+backward FLOPs per sample for the architecture. Transformers use
+/// the standard 24*h^2 + 4*s*h per token per layer estimate (x3 for
+/// fwd+bwd); GNNs use a dense-propagation estimate over the fixed graph.
+double flops_per_sample(const dl::ModelConfig& m);
+
+StepInputs compute_step_inputs(const dl::ModelConfig& m, std::uint32_t batch,
+                               const Calibration& cal);
+
+/// V100-style memory check: ZeRO-Offload keeps parameters + activations on
+/// the GPU; returns false when the configuration would OOM on a 32 GB card
+/// (reproduces the T5-large batch-16 N/A in Table IV). The default budget
+/// is 32 GiB minus ~2 GiB of CUDA context / framework overhead.
+bool fits_on_gpu(const dl::ModelConfig& m, std::uint32_t batch,
+                 std::uint64_t gpu_bytes = 30ull << 30);
+
+}  // namespace teco::offload

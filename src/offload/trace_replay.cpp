@@ -1,0 +1,118 @@
+#include "offload/trace_replay.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "coherence/giant_cache.hpp"
+#include "cxl/link.hpp"
+#include "mem/cache.hpp"
+#include "sim/rng.hpp"
+
+namespace teco::offload {
+
+namespace {
+
+std::vector<std::uint64_t> visit_order(std::uint64_t n, bool shuffle,
+                                       sim::Rng& rng) {
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0ull);
+  if (shuffle) {
+    for (std::uint64_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+ReplayResult replay_training_step(const ReplayStepConfig& cfg,
+                                  const Calibration& cal) {
+  cxl::Link link(cal.phy, cal.cxl_queue_entries);
+  const std::uint64_t gc_bytes =
+      (cfg.param_lines + cfg.grad_lines) * mem::kLineBytes;
+  coherence::GiantCache gc(gc_bytes);
+  constexpr mem::Addr kParamBase = 0x1000'0000;
+  const mem::Addr grad_base =
+      kParamBase + cfg.param_lines * mem::kLineBytes;
+  gc.map_region("params", kParamBase, cfg.param_lines * mem::kLineBytes,
+                coherence::MesiState::kExclusive, true);
+  gc.map_region("grads", grad_base, cfg.grad_lines * mem::kLineBytes,
+                coherence::MesiState::kExclusive, false);
+  mem::Cache cpu_cache(mem::llc_config());
+
+  coherence::HomeAgent::Options opts;
+  opts.protocol = cfg.protocol;
+  opts.dba = cfg.dba;
+  coherence::HomeAgent agent(link, gc, cpu_cache, opts);
+  sim::Rng rng(cfg.seed);
+
+  ReplayResult r;
+
+  // --- Backward: the accelerator writes gradient lines back over the
+  // backward window; each writeback rides the protocol.
+  const auto grad_order = visit_order(cfg.grad_lines, cfg.shuffle, rng);
+  const sim::Time bwd_end = cfg.forward + cfg.backward;
+  for (std::uint64_t i = 0; i < cfg.grad_lines; ++i) {
+    const sim::Time when =
+        cfg.forward + cfg.backward * static_cast<double>(i + 1) /
+                          static_cast<double>(cfg.grad_lines);
+    agent.device_write_line(when,
+                            grad_base + grad_order[i] * mem::kLineBytes);
+  }
+  r.grads_fence = agent.cxl_fence(bwd_end);
+  r.grad_exposed = r.grads_fence - bwd_end;
+
+  // Invalidation mode: the CPU must demand-fetch gradients before the clip.
+  sim::Time cpu_ready = r.grads_fence;
+  if (cfg.protocol == coherence::Protocol::kInvalidation) {
+    // Demand reads issue pipelined (up to the pending-queue depth); the
+    // clip starts when the last line lands.
+    for (std::uint64_t i = 0; i < cfg.grad_lines; ++i) {
+      const auto a = agent.cpu_read_line(r.grads_fence,
+                                         grad_base + i * mem::kLineBytes);
+      if (a.ready > cpu_ready) cpu_ready = a.ready;
+    }
+    r.grad_exposed = cpu_ready - bwd_end;
+  }
+
+  // --- Optimizer: the vectorized Adam sweep writes parameter lines back
+  // over the adam window; each writeback rides the protocol.
+  const sim::Time adam_start = cpu_ready + cfg.grad_clip;
+  const sim::Time opt_end = adam_start + cfg.adam;
+  const auto param_order = visit_order(cfg.param_lines, cfg.shuffle, rng);
+  for (std::uint64_t i = 0; i < cfg.param_lines; ++i) {
+    const sim::Time when =
+        adam_start + cfg.adam * static_cast<double>(i + 1) /
+                         static_cast<double>(cfg.param_lines);
+    agent.cpu_write_line(when,
+                         kParamBase + param_order[i] * mem::kLineBytes);
+  }
+  r.params_fence = agent.cxl_fence(opt_end);
+  r.param_exposed = r.params_fence - opt_end;
+
+  // Invalidation mode: the next forward demand-fetches every parameter.
+  if (cfg.protocol == coherence::Protocol::kInvalidation) {
+    sim::Time dev_ready = r.params_fence;
+    for (std::uint64_t i = 0; i < cfg.param_lines; ++i) {
+      const auto a = agent.device_read_line(
+          r.params_fence, kParamBase + i * mem::kLineBytes);
+      if (a.ready > dev_ready) dev_ready = a.ready;
+    }
+    r.param_exposed = dev_ready - opt_end;
+    r.params_fence = dev_ready;
+  }
+  agent.cpu_flush_all(r.params_fence);
+
+  r.step_total = cfg.forward + cfg.backward + r.grad_exposed +
+                 cfg.grad_clip + cfg.adam + r.param_exposed;
+  r.bytes_to_cpu =
+      link.channel(cxl::Direction::kDeviceToCpu).stats().payload_bytes;
+  r.bytes_to_device =
+      link.channel(cxl::Direction::kCpuToDevice).stats().payload_bytes;
+  r.agent_stats = agent.stats();
+  r.snoop_filter_peak = agent.snoop_filter().peak_entries();
+  return r;
+}
+
+}  // namespace offload

@@ -1,0 +1,57 @@
+// Writeback-trace replay through the full protocol stack.
+//
+// The paper's evaluation collects main-memory writeback traces from
+// gem5-avx / Accel-Sim and replays them through a CXL emulator
+// (Section VIII-A). This module is that pipeline at reduced scale: it
+// synthesizes a per-step writeback trace (gradient lines written back
+// during the backward window, parameter lines during the Adam sweep) and
+// replays every line through the real HomeAgent + Link, producing fence
+// times and exposed-communication measurements.
+//
+// It doubles as a cross-validation of the analytic timeline in runtime.cpp:
+// both layers ride the same serial-channel model, so their exposed times
+// must agree (tested in tests/replay_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coherence/home_agent.hpp"
+#include "offload/calibration.hpp"
+#include "sim/time.hpp"
+
+namespace teco::offload {
+
+struct ReplayStepConfig {
+  std::uint64_t param_lines = 50'000;
+  std::uint64_t grad_lines = 50'000;
+  sim::Time forward = sim::ms(10);
+  sim::Time backward = sim::ms(20);
+  sim::Time grad_clip = sim::ms(3);
+  sim::Time adam = sim::ms(12);
+  coherence::Protocol protocol = coherence::Protocol::kUpdate;
+  dba::DbaRegister dba{};
+  /// Shuffle writeback order within each window (addresses are visited in
+  /// a pseudo-random order, as OoO execution would produce).
+  bool shuffle = false;
+  std::uint64_t seed = 5;
+};
+
+struct ReplayResult {
+  sim::Time grads_fence = 0.0;   ///< CXLFENCE() after backward.
+  sim::Time params_fence = 0.0;  ///< CXLFENCE() after optimizer.step().
+  sim::Time grad_exposed = 0.0;
+  sim::Time param_exposed = 0.0;
+  sim::Time step_total = 0.0;
+  std::uint64_t bytes_to_cpu = 0;
+  std::uint64_t bytes_to_device = 0;
+  coherence::HomeAgentStats agent_stats;
+  std::size_t snoop_filter_peak = 0;
+};
+
+/// Synthesize one training step's writeback trace and replay it line by
+/// line through HomeAgent + Link under `cal`'s PHY.
+ReplayResult replay_training_step(const ReplayStepConfig& cfg,
+                                  const Calibration& cal);
+
+}  // namespace teco::offload

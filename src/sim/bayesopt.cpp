@@ -1,0 +1,136 @@
+#include "sim/bayesopt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace teco::sim {
+
+BayesOpt1D::BayesOpt1D(double lo, double hi, BayesOptConfig cfg)
+    : lo_(lo), hi_(hi), cfg_(cfg), rng_(cfg.seed) {
+  if (!(hi > lo)) throw std::invalid_argument("need hi > lo");
+  if (cfg_.init_samples == 0) throw std::invalid_argument("init_samples > 0");
+}
+
+double BayesOpt1D::kernel(double a, double b) const {
+  const double d = (a - b) / cfg_.length_scale;
+  return cfg_.signal_variance * std::exp(-0.5 * d * d);
+}
+
+void BayesOpt1D::refit() {
+  const std::size_t n = obs_.size();
+  y_mean_ = 0.0;
+  for (const auto& o : obs_) y_mean_ += o.y;
+  y_mean_ /= static_cast<double>(n);
+
+  // K + noise I, Cholesky in place (row-major lower triangle).
+  chol_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      chol_[i * n + j] = kernel(to_unit(obs_[i].x), to_unit(obs_[j].x)) +
+                         (i == j ? cfg_.noise_variance : 0.0);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = chol_[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= chol_[i * n + k] * chol_[j * n + k];
+      }
+      if (i == j) {
+        chol_[i * n + i] = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        chol_[i * n + j] = sum / chol_[j * n + j];
+      }
+    }
+  }
+  // alpha = K^-1 (y - mean) via forward/back substitution.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = obs_[i].y - y_mean_;
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * n + k] * z[k];
+    z[i] = sum / chol_[i * n + i];
+  }
+  alpha_.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      sum -= chol_[k * n + ii] * alpha_[k];
+    }
+    alpha_[ii] = sum / chol_[ii * n + ii];
+  }
+}
+
+void BayesOpt1D::posterior(double x, double* mean, double* variance) const {
+  const std::size_t n = obs_.size();
+  if (n == 0) {
+    *mean = 0.0;
+    *variance = cfg_.signal_variance;
+    return;
+  }
+  std::vector<double> k(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k[i] = kernel(to_unit(x), to_unit(obs_[i].x));
+  }
+  double m = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) m += k[i] * alpha_[i];
+  // v = L^-1 k; var = k(x,x) - v.v.
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = k[i];
+    for (std::size_t kk = 0; kk < i; ++kk) sum -= chol_[i * n + kk] * v[kk];
+    v[i] = sum / chol_[i * n + i];
+  }
+  double var = cfg_.signal_variance;
+  for (std::size_t i = 0; i < n; ++i) var -= v[i] * v[i];
+  *mean = m;
+  *variance = std::max(var, 0.0);
+}
+
+double BayesOpt1D::expected_improvement(double x) const {
+  double mu, var;
+  posterior(x, &mu, &var);
+  const double sigma = std::sqrt(var);
+  if (sigma < 1e-12) return 0.0;
+  const double z = (mu - best_y_) / sigma;
+  // Standard normal pdf/cdf.
+  const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return (mu - best_y_) * cdf + sigma * pdf;
+}
+
+double BayesOpt1D::maximize(const std::function<double(double)>& f) {
+  auto evaluate = [&](double x) {
+    const double y = f(x);
+    obs_.push_back({x, y});
+    if (y > best_y_) {
+      best_y_ = y;
+      best_x_ = x;
+    }
+    refit();
+  };
+
+  // Initial design: stratified-random over the interval.
+  for (std::size_t i = 0; i < cfg_.init_samples; ++i) {
+    const double u = (static_cast<double>(i) + rng_.next_double()) /
+                     static_cast<double>(cfg_.init_samples);
+    evaluate(lo_ + u * (hi_ - lo_));
+  }
+
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    double best_acq = -1.0, best_cand = lo_;
+    for (std::size_t g = 0; g <= cfg_.grid; ++g) {
+      const double x =
+          lo_ + (hi_ - lo_) * static_cast<double>(g) / cfg_.grid;
+      const double a = expected_improvement(x);
+      if (a > best_acq) {
+        best_acq = a;
+        best_cand = x;
+      }
+    }
+    if (best_acq <= 1e-15) break;  // Converged: no expected improvement.
+    evaluate(best_cand);
+  }
+  return best_x_;
+}
+
+}  // namespace teco::sim

@@ -1,0 +1,66 @@
+// Small 1-D Bayesian optimizer (Gaussian process + expected improvement).
+//
+// The paper notes act_aft_steps "can be tuned using Bayesian optimization
+// [17],[94]"; this is that tuner. A real GP with an RBF kernel over the
+// normalized input, exact Cholesky inference (observation counts are
+// single digits), and EI acquisition maximized on a dense grid — enough to
+// optimize any expensive scalar objective over an interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace teco::sim {
+
+struct BayesOptConfig {
+  std::size_t init_samples = 4;   ///< Quasi-random initial design.
+  std::size_t iterations = 8;     ///< EI-guided evaluations after init.
+  double length_scale = 0.2;      ///< RBF length scale in [0,1] input space.
+  double signal_variance = 1.0;
+  double noise_variance = 1e-6;
+  std::size_t grid = 256;         ///< Acquisition grid resolution.
+  std::uint64_t seed = 17;
+};
+
+class BayesOpt1D {
+ public:
+  struct Observation {
+    double x = 0.0;  ///< In original units.
+    double y = 0.0;
+  };
+
+  BayesOpt1D(double lo, double hi, BayesOptConfig cfg = {});
+
+  /// Maximize `f` over [lo, hi]; returns the best observed x.
+  double maximize(const std::function<double(double)>& f);
+
+  const std::vector<Observation>& observations() const { return obs_; }
+  double best_x() const { return best_x_; }
+  double best_y() const { return best_y_; }
+
+  /// GP posterior at a point (normalized internally) given current
+  /// observations — exposed for testing.
+  void posterior(double x, double* mean, double* variance) const;
+
+ private:
+  double kernel(double a, double b) const;
+  void refit();
+  double expected_improvement(double x) const;
+  double to_unit(double x) const { return (x - lo_) / (hi_ - lo_); }
+
+  double lo_, hi_;
+  BayesOptConfig cfg_;
+  Rng rng_;
+  std::vector<Observation> obs_;
+  // Cholesky factor of (K + noise I) and alpha = K^-1 y, refit per step.
+  std::vector<double> chol_;
+  std::vector<double> alpha_;
+  double y_mean_ = 0.0;
+  double best_x_ = 0.0;
+  double best_y_ = -1e300;
+};
+
+}  // namespace teco::sim

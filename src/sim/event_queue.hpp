@@ -1,0 +1,76 @@
+// A deterministic discrete-event engine.
+//
+// This is the substrate under the CXL link model and the offload timeline
+// simulator: components schedule callbacks at absolute simulated times and
+// the engine runs them in (time, insertion-order) order. Ties are broken by
+// a monotonically increasing sequence number so replays are bit-identical —
+// a requirement for the regression tests that pin exact transfer schedules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace teco::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at 0 and only moves forward.
+  Time now() const { return now_; }
+
+  /// Number of events not yet executed.
+  std::size_t pending() const { return heap_.size(); }
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Schedule `cb` at absolute time `when`. Scheduling in the past (before
+  /// `now()`) is a logic error and is clamped to `now()` after recording it
+  /// in `clamped_past_schedules()` so tests can assert it never happens.
+  void schedule_at(Time when, Callback cb);
+
+  /// Schedule `cb` at `now() + delay`.
+  void schedule_after(Time delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `limit` events have run.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run events with time <= `until` (inclusive). Events an executed event
+  /// schedules inside the window are run too. Advances now() to `until`
+  /// even if nothing was pending. Returns the number executed.
+  std::size_t run_until(Time until);
+
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t clamped_past_schedules() const { return clamped_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+}  // namespace teco::sim

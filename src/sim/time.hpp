@@ -1,0 +1,38 @@
+// Simulated-time primitives shared by every timing model in TECO.
+//
+// Simulated time is a double in *seconds*. The evaluation spans ~1 ns
+// (aggregator latency) to ~hours (Table VII training time); a double keeps
+// ~15 significant digits, so nanosecond resolution survives even at
+// hour-scale magnitudes, and it composes directly with bandwidth math
+// (bytes / bytes-per-second) without unit-conversion churn.
+#pragma once
+
+namespace teco::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+inline constexpr Time kSec = 1.0;
+inline constexpr Time kMilli = 1e-3;
+inline constexpr Time kMicro = 1e-6;
+inline constexpr Time kNano = 1e-9;
+inline constexpr Time kPico = 1e-12;
+
+/// Convenience constructors, so call sites read `ns(1.28)` not `1.28e-9`.
+constexpr Time hours(double h) { return h * 3600.0; }
+constexpr Time seconds(double s) { return s; }
+constexpr Time ms(double m) { return m * kMilli; }
+constexpr Time us(double u) { return u * kMicro; }
+constexpr Time ns(double n) { return n * kNano; }
+
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+inline constexpr Bandwidth kGiBps = 1024.0 * 1024.0 * 1024.0;
+/// Vendor-style decimal GB/s (PCIe 3.0 x16 is quoted as 16 GB/s decimal).
+inline constexpr Bandwidth kGBps = 1e9;
+
+/// Time to move `bytes` over a link of bandwidth `bw` (no latency term).
+constexpr Time transfer_time(double bytes, Bandwidth bw) { return bytes / bw; }
+
+}  // namespace teco::sim

@@ -1,0 +1,32 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace teco::sim {
+
+void Trace::emit(Time when, std::string component, std::string event,
+                 std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(
+      {when, std::move(component), std::move(event), std::move(detail)});
+}
+
+std::vector<TraceRecord> Trace::filter_event(const std::string& event) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.event == event) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << r.when << " [" << r.component << "] " << r.event;
+    if (!r.detail.empty()) os << " " << r.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace teco::sim

@@ -1,0 +1,47 @@
+// Lightweight structured trace sink.
+//
+// Protocol components emit (time, component, event, detail) records; tests
+// assert on exact sequences (e.g. the Fig. 5 coherence flow) and benches can
+// dump them for debugging. Disabled sinks drop records with no allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace teco::sim {
+
+struct TraceRecord {
+  Time when = 0.0;
+  std::string component;
+  std::string event;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+
+  void set_enabled(bool e) { enabled_ = e; }
+  bool enabled() const { return enabled_; }
+
+  void emit(Time when, std::string component, std::string event,
+            std::string detail = {});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// All records whose event name matches `event`, in order.
+  std::vector<TraceRecord> filter_event(const std::string& event) const;
+
+  /// Render as one line per record, for golden tests / debugging.
+  std::string to_string() const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace teco::sim

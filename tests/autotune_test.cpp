@@ -1,0 +1,131 @@
+// Autotuner + protocol-fallback tests.
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "coherence/home_agent.hpp"
+#include "coherence/giant_cache.hpp"
+#include "cxl/link.hpp"
+#include "dl/model_zoo.hpp"
+#include "mem/cache.hpp"
+
+namespace teco {
+namespace {
+
+TEST(Autotune, FindsReasonableActivationStep) {
+  const auto task = dl::make_regression_task(51);
+  core::AutotuneConfig cfg;
+  cfg.train.model = dl::default_model_for(task, 3);
+  cfg.train.steps = 500;
+  cfg.train.batch_size = 16;
+  cfg.perf_model = dl::gpt2();
+  cfg.metric_tolerance = 0.05;
+  cfg.bo.init_samples = 3;
+  cfg.bo.iterations = 4;
+
+  const auto res = core::tune_act_aft_steps(task, cfg);
+  EXPECT_GT(res.evaluations, 2u);
+  EXPECT_LE(res.best_act_aft_steps, cfg.train.steps);
+  EXPECT_GT(res.speedup_at_best, 1.0);
+  // The tuner must not pick a point that blows the quality budget when
+  // cheaper-quality points with near-equal speed exist.
+  EXPECT_LT(res.metric_delta_at_best, 0.30);
+}
+
+TEST(Autotune, PenaltyWeightSteersAwayFromEarlyActivation) {
+  const auto task = dl::make_regression_task(52);
+  core::AutotuneConfig cfg;
+  cfg.train.model = dl::default_model_for(task, 4);
+  cfg.train.steps = 400;
+  cfg.train.batch_size = 16;
+  cfg.perf_model = dl::gpt2();
+  cfg.metric_tolerance = 0.0;
+  cfg.penalty_weight = 1e6;  // Any quality loss dominates.
+  cfg.bo.init_samples = 3;
+  cfg.bo.iterations = 3;
+  const auto res = core::tune_act_aft_steps(task, cfg);
+  // With an extreme penalty the winner is a late activation (small delta).
+  EXPECT_GT(res.best_act_aft_steps, 0u);
+}
+
+// --- Section IV-A2 fallback: no clear producer/consumer ---
+
+struct FallbackHarness {
+  FallbackHarness()
+      : gc(1 << 20), cpu(mem::llc_config()) {
+    gc.map_region("shared", 0x1000, 64 * 64,
+                  coherence::MesiState::kExclusive, false);
+    coherence::HomeAgent::Options opts;
+    opts.protocol = coherence::Protocol::kUpdate;
+    agent = std::make_unique<coherence::HomeAgent>(link, gc, cpu, opts);
+  }
+  cxl::Link link;
+  coherence::GiantCache gc;
+  mem::Cache cpu;
+  std::unique_ptr<coherence::HomeAgent> agent;
+};
+
+TEST(ProtocolFallback, ConcurrentUpdateDemotesRegion) {
+  FallbackHarness h;
+  // Device takes the line dirty under... update mode pushes immediately,
+  // so force the conflicting state via an explicit demotion scenario:
+  // demote manually, device writes leave Gs = M, then a CPU write to the
+  // same line under the ORIGINAL update protocol would be a conflict.
+  // Simulate the conflict directly: set the device line Modified.
+  h.gc.set_state(0x1000, coherence::MesiState::kModified);
+  EXPECT_EQ(h.agent->effective_protocol(0x1000),
+            coherence::Protocol::kUpdate);
+  h.agent->cpu_write_line(0.0, 0x1000);
+  EXPECT_EQ(h.agent->stats().protocol_fallbacks, 1u);
+  EXPECT_EQ(h.agent->effective_protocol(0x1000),
+            coherence::Protocol::kInvalidation);
+  // Subsequent writes in the region behave as invalidation MESI.
+  const auto d = h.agent->cpu_write_line(1.0, 0x1000 + 64);
+  EXPECT_FALSE(d.has_value());  // No push.
+  EXPECT_GT(h.agent->snoop_filter().entries(), 0u);
+}
+
+TEST(ProtocolFallback, SymmetricDeviceSideConflict) {
+  FallbackHarness h;
+  // CPU holds the line Modified (as under invalidation), device writes it.
+  h.gc.set_state(0x1000, coherence::MesiState::kInvalid);
+  // Insert a dirty M line into the CPU cache via a demoted-region write:
+  h.agent->demote_region(0.0, 0x1000);
+  h.agent->cpu_write_line(0.0, 0x1000);
+  ASSERT_EQ(h.agent->stats().protocol_fallbacks, 1u);
+  // Reset the demotion flag scenario: a fresh harness where the conflict
+  // arises from the device side.
+  FallbackHarness h2;
+  // CPU writes under update leave Cs = S (clean); set Cs = M by hand.
+  h2.agent->cpu_write_line(0.0, 0x1000);
+  auto* meta = h2.cpu.lookup(0x1000);
+  ASSERT_NE(meta, nullptr);
+  meta->state = static_cast<std::uint8_t>(coherence::MesiState::kModified);
+  meta->dirty = true;
+  h2.agent->device_write_line(1.0, 0x1000);
+  EXPECT_EQ(h2.agent->stats().protocol_fallbacks, 1u);
+  EXPECT_EQ(h2.agent->effective_protocol(0x1000),
+            coherence::Protocol::kInvalidation);
+}
+
+TEST(ProtocolFallback, ExplicitDemotionIsIdempotent) {
+  FallbackHarness h;
+  h.agent->demote_region(0.0, 0x1000);
+  h.agent->demote_region(0.0, 0x1040);  // Same region.
+  EXPECT_EQ(h.agent->stats().protocol_fallbacks, 1u);
+  h.agent->demote_region(0.0, 0xDEAD000);  // Unmapped: no-op.
+  EXPECT_EQ(h.agent->stats().protocol_fallbacks, 1u);
+}
+
+TEST(ProtocolFallback, OtherRegionsStayOnUpdateProtocol) {
+  FallbackHarness h;
+  h.gc.map_region("other", 0x100000, 64 * 16,
+                  coherence::MesiState::kExclusive, false);
+  h.agent->demote_region(0.0, 0x1000);
+  EXPECT_EQ(h.agent->effective_protocol(0x100000),
+            coherence::Protocol::kUpdate);
+  const auto d = h.agent->cpu_write_line(0.0, 0x100000);
+  EXPECT_TRUE(d.has_value());  // Still pushes.
+}
+
+}  // namespace
+}  // namespace teco

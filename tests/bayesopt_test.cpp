@@ -1,0 +1,80 @@
+// Bayesian-optimizer tests (the act_aft_steps tuner substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/bayesopt.hpp"
+
+namespace teco::sim {
+namespace {
+
+TEST(BayesOpt, RejectsBadInterval) {
+  EXPECT_THROW(BayesOpt1D(1.0, 1.0), std::invalid_argument);
+  BayesOptConfig cfg;
+  cfg.init_samples = 0;
+  EXPECT_THROW(BayesOpt1D(0.0, 1.0, cfg), std::invalid_argument);
+}
+
+TEST(BayesOpt, FindsSmoothUnimodalMaximum) {
+  BayesOpt1D bo(0.0, 10.0);
+  const double best = bo.maximize(
+      [](double x) { return -(x - 6.5) * (x - 6.5); });
+  EXPECT_NEAR(best, 6.5, 0.6);
+  EXPECT_NEAR(bo.best_y(), 0.0, 0.5);
+}
+
+TEST(BayesOpt, HandlesAsymmetricPlateau) {
+  // Objective like the act_aft_steps trade-off: rises fast, then a gentle
+  // decaying plateau. The optimum sits at the knee.
+  BayesOpt1D bo(0.0, 1000.0);
+  const double best = bo.maximize([](double x) {
+    const double quality = 1.0 - std::exp(-x / 80.0);  // Saturates by ~300.
+    const double speed = 1.0 - 0.0004 * x;             // Slow decay.
+    return quality + speed;
+  });
+  EXPECT_GT(best, 100.0);
+  EXPECT_LT(best, 800.0);
+}
+
+TEST(BayesOpt, PosteriorInterpolatesObservations) {
+  BayesOptConfig cfg;
+  cfg.init_samples = 3;
+  cfg.iterations = 0;
+  BayesOpt1D bo(0.0, 1.0, cfg);
+  bo.maximize([](double x) { return std::sin(6.0 * x); });
+  for (const auto& o : bo.observations()) {
+    double mu, var;
+    bo.posterior(o.x, &mu, &var);
+    EXPECT_NEAR(mu, o.y, 0.02);     // Near-interpolation (tiny noise).
+    EXPECT_LT(var, 0.01);           // Confident at observed points.
+  }
+  // Far from data the posterior is uncertain.
+  double mu, var;
+  bo.posterior(10.0, &mu, &var);  // Outside [0,1] -> far in unit space.
+  EXPECT_GT(var, 0.5);
+}
+
+TEST(BayesOpt, DeterministicForFixedSeed) {
+  auto run = [] {
+    BayesOpt1D bo(0.0, 5.0);
+    return bo.maximize([](double x) { return -std::abs(x - 2.0); });
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(BayesOpt, UsesAtMostConfiguredEvaluations) {
+  BayesOptConfig cfg;
+  cfg.init_samples = 3;
+  cfg.iterations = 4;
+  BayesOpt1D bo(0.0, 1.0, cfg);
+  int evals = 0;
+  bo.maximize([&](double x) {
+    ++evals;
+    return -x * x;
+  });
+  EXPECT_LE(evals, 7);
+  EXPECT_GE(evals, 3);
+}
+
+}  // namespace
+}  // namespace teco::sim

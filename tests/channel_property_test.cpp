@@ -1,0 +1,146 @@
+// Property tests for the serial channel against a brute-force reference.
+//
+// The Channel computes admission/finish/delivery in closed form (O(1) per
+// packet with a bounded deque). The reference below simulates the same
+// semantics the obvious way — an explicit FIFO of in-flight packets — and
+// random workloads must agree exactly.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "cxl/channel.hpp"
+#include "sim/rng.hpp"
+
+namespace teco::cxl {
+namespace {
+
+/// Straight-line reference: same contract as Channel::submit.
+class ReferenceChannel {
+ public:
+  ReferenceChannel(double bw, double latency, std::size_t cap)
+      : bw_(bw), latency_(latency), cap_(cap) {}
+
+  Delivery submit(double t_ready, const Packet& pkt) {
+    while (!inflight_.empty() && inflight_.front() <= t_ready) {
+      inflight_.pop_front();
+    }
+    double admission = t_ready;
+    if (inflight_.size() >= cap_) {
+      admission = inflight_.front();
+      inflight_.pop_front();
+    }
+    const double start = std::max(admission, wire_free_);
+    const double finish = start + pkt.wire_bytes() / bw_;
+    wire_free_ = finish;
+    inflight_.push_back(finish);
+    return Delivery{admission, finish, finish + latency_};
+  }
+
+ private:
+  double bw_, latency_;
+  std::size_t cap_;
+  std::deque<double> inflight_;
+  double wire_free_ = 0.0;
+};
+
+struct WorkloadParams {
+  std::uint64_t seed;
+  std::size_t capacity;
+};
+
+class ChannelVsReference
+    : public ::testing::TestWithParam<WorkloadParams> {};
+
+TEST_P(ChannelVsReference, RandomWorkloadsAgreeExactly) {
+  const auto [seed, capacity] = GetParam();
+  sim::Rng rng(seed);
+  Channel ch("dut", 10e9, sim::ns(300), capacity);
+  ReferenceChannel ref(10e9, sim::ns(300), capacity);
+
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixed packet sizes: control flits, DBA payloads, full lines, bulk.
+    const std::uint64_t sizes[] = {0, 32, 64, 4096};
+    const auto pkt = data_packet(MessageType::kData, 0,
+                                 sizes[rng.next_below(4)]);
+    // Sometimes bursts at the same instant, sometimes idle gaps.
+    if (rng.next_bool(0.3)) t += rng.uniform(0.0, 2e-6);
+    const auto a = ch.submit(t, pkt);
+    const auto b = ref.submit(t, pkt);
+    ASSERT_DOUBLE_EQ(a.accepted, b.accepted) << "packet " << i;
+    ASSERT_DOUBLE_EQ(a.finished, b.finished) << "packet " << i;
+    ASSERT_DOUBLE_EQ(a.delivered, b.delivered) << "packet " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCapacities, ChannelVsReference,
+    ::testing::Values(WorkloadParams{1, 1}, WorkloadParams{2, 2},
+                      WorkloadParams{3, 8}, WorkloadParams{4, 128},
+                      WorkloadParams{5, 128}, WorkloadParams{6, 3}));
+
+TEST(ChannelProperties, ConservationOfWireTime) {
+  // Total busy time equals total wire bytes / bandwidth, regardless of the
+  // arrival pattern.
+  sim::Rng rng(9);
+  Channel ch("dut", 12.8e9, sim::ns(100));
+  double t = 0.0;
+  std::uint64_t bytes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t sz = 16 + rng.next_below(256);
+    bytes += sz;
+    t += rng.uniform(0.0, 1e-7);
+    ch.submit(t, data_packet(MessageType::kData, 0, sz));
+  }
+  EXPECT_NEAR(ch.stats().busy_time, static_cast<double>(bytes) / 12.8e9,
+              1e-12);
+  EXPECT_EQ(ch.stats().wire_bytes, bytes);
+}
+
+TEST(ChannelProperties, FifoOrderPreserved) {
+  // Finish times are nondecreasing in submission order even when ready
+  // times interleave with the wire becoming free.
+  sim::Rng rng(12);
+  Channel ch("dut", 1e9, 0.0, 4);
+  double t = 0.0, prev_finish = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t += rng.uniform(0.0, 2e-6);
+    const auto d = ch.submit(
+        t, data_packet(MessageType::kData, 0, 1 + rng.next_below(2048)));
+    ASSERT_GE(d.finished, prev_finish);
+    prev_finish = d.finished;
+  }
+}
+
+TEST(ChannelProperties, StreamEqualsLoopUnderBackpressure) {
+  // submit_stream must replicate per-packet submission even when the
+  // stream is far larger than the queue (heavy stall accounting).
+  for (const std::uint64_t n : {1ull, 100ull, 129ull, 5000ull}) {
+    Channel a("a", 2e9, sim::ns(50), 16);
+    Channel b("b", 2e9, sim::ns(50), 16);
+    const auto pkt = data_packet(MessageType::kFlushData, 0, 64);
+    Delivery da{};
+    for (std::uint64_t i = 0; i < n; ++i) da = a.submit(1e-6, pkt);
+    const auto db = b.submit_stream(1e-6, pkt, n);
+    EXPECT_NEAR(da.finished, db.finished, 1e-15) << "n=" << n;
+    EXPECT_EQ(a.stats().stalled_packets, b.stats().stalled_packets)
+        << "n=" << n;
+    EXPECT_NEAR(a.stats().producer_stall, b.stats().producer_stall, 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(ChannelProperties, ThroughputMonotoneInBandwidth) {
+  double prev = 1e300;
+  for (const double bw : {4e9, 8e9, 16e9, 32e9}) {
+    Channel ch("dut", bw, sim::ns(400));
+    const auto d = ch.submit_stream(
+        0.0, data_packet(MessageType::kData, 0, 64), 100'000);
+    EXPECT_LT(d.finished, prev);
+    prev = d.finished;
+  }
+}
+
+}  // namespace
+}  // namespace teco::cxl

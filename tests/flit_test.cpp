@@ -1,0 +1,74 @@
+// CXL flit-framing tests: the 94.3 % efficiency figure must be derivable.
+#include <gtest/gtest.h>
+
+#include "cxl/flit.hpp"
+#include "cxl/phy.hpp"
+
+namespace teco::cxl {
+namespace {
+
+TEST(Flit, DefaultLayoutIs528Bits) {
+  const FlitConfig cfg;
+  EXPECT_EQ(cfg.flit_payload_bytes(), 64u);
+  EXPECT_EQ(cfg.flit_wire_bytes(), 66u);  // 528 bits.
+}
+
+TEST(Flit, SlotsPerPayload) {
+  const FlitCodec codec;
+  EXPECT_EQ(codec.slots_for_payload(64), 4u);   // Full line.
+  EXPECT_EQ(codec.slots_for_payload(32), 2u);   // DBA(2) payload.
+  EXPECT_EQ(codec.slots_for_payload(48), 3u);   // DBA(3) payload.
+  EXPECT_EQ(codec.slots_for_payload(16), 1u);
+  EXPECT_EQ(codec.slots_for_payload(1), 1u);    // Rounds up.
+}
+
+TEST(Flit, BurstWireBytes) {
+  const FlitCodec codec;
+  EXPECT_EQ(codec.wire_bytes_for_burst(0, 64), 0u);
+  // One line: 4 data slots + 1 header slot = 5 slots = 2 flits = 132 B.
+  EXPECT_EQ(codec.wire_bytes_for_burst(1, 64), 132u);
+  // 16 lines: 64 data + 1 header = 65 slots = 17 flits.
+  EXPECT_EQ(codec.wire_bytes_for_burst(16, 64), 17u * 66u);
+}
+
+TEST(Flit, ControlWireBytes) {
+  const FlitCodec codec;
+  EXPECT_EQ(codec.wire_bytes_for_control(0), 0u);
+  EXPECT_EQ(codec.wire_bytes_for_control(1), 66u);
+  EXPECT_EQ(codec.wire_bytes_for_control(4), 66u);   // One full flit.
+  EXPECT_EQ(codec.wire_bytes_for_control(5), 132u);
+}
+
+TEST(Flit, DerivesThePapersEfficiency) {
+  // The PhyConfig constant (94.3 %, from [20],[106]) must fall out of the
+  // flit arithmetic for long 64 B line bursts, within rounding of the
+  // header-amortization assumption.
+  const FlitCodec codec;
+  const PhyConfig phy;
+  EXPECT_NEAR(codec.data_efficiency(64), phy.cxl_efficiency, 0.01);
+}
+
+TEST(Flit, TrimmedPayloadsAreProportionallyEfficient) {
+  const FlitCodec codec;
+  // A 32 B DBA payload occupies exactly half the slots of a full line; its
+  // per-message header overhead is relatively larger, so efficiency dips
+  // slightly (but only slightly) below the full-line figure.
+  EXPECT_LT(codec.data_efficiency(32), codec.data_efficiency(64));
+  EXPECT_NEAR(codec.data_efficiency(32), codec.data_efficiency(64), 0.03);
+  // An unaligned payload wastes part of its last slot.
+  EXPECT_LT(codec.data_efficiency(40), codec.data_efficiency(32));
+}
+
+TEST(Flit, MonotoneInBurstLength) {
+  const FlitCodec codec;
+  double prev = 0.0;
+  for (const std::uint64_t n : {1ull, 2ull, 8ull, 64ull, 4096ull}) {
+    const double eff =
+        64.0 * n / codec.wire_bytes_for_burst(n, 64);
+    EXPECT_GE(eff + 1e-9, prev);  // Longer bursts amortize headers.
+    prev = eff;
+  }
+}
+
+}  // namespace
+}  // namespace teco::cxl

@@ -1,0 +1,116 @@
+// IEEE binary16 conversion tests (mixed-precision path, Section V).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "dl/dba_training.hpp"
+#include "dl/fp16.hpp"
+#include "sim/rng.hpp"
+
+namespace teco::dl {
+namespace {
+
+TEST(Fp16, KnownValues) {
+  EXPECT_EQ(f32_to_f16_bits(0.0f), 0x0000u);
+  EXPECT_EQ(f32_to_f16_bits(-0.0f), 0x8000u);
+  EXPECT_EQ(f32_to_f16_bits(1.0f), 0x3C00u);
+  EXPECT_EQ(f32_to_f16_bits(-2.0f), 0xC000u);
+  EXPECT_EQ(f32_to_f16_bits(65504.0f), 0x7BFFu);  // Max finite half.
+  EXPECT_EQ(f32_to_f16_bits(0.5f), 0x3800u);
+  EXPECT_EQ(f32_to_f16_bits(0.099975586f), 0x2E66u);  // ~0.1 in half.
+}
+
+TEST(Fp16, InfAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(f32_to_f16_bits(inf), 0x7C00u);
+  EXPECT_EQ(f32_to_f16_bits(-inf), 0xFC00u);
+  EXPECT_EQ(f32_to_f16_bits(65536.0f), 0x7C00u);  // Overflow -> inf.
+  const auto nan_bits = f32_to_f16_bits(std::nanf(""));
+  EXPECT_EQ(nan_bits & 0x7C00u, 0x7C00u);
+  EXPECT_NE(nan_bits & 0x03FFu, 0u);  // NaN payload preserved.
+  EXPECT_TRUE(std::isnan(f16_bits_to_f32(0x7E00u)));
+  EXPECT_TRUE(std::isinf(f16_bits_to_f32(0x7C00u)));
+}
+
+TEST(Fp16, Subnormals) {
+  // Smallest positive half subnormal: 2^-24.
+  EXPECT_EQ(f32_to_f16_bits(5.9604645e-8f), 0x0001u);
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x0001u), 5.9604645e-8f);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x03FFu), 6.097555e-5f);
+  // Underflow to zero.
+  EXPECT_EQ(f32_to_f16_bits(1e-12f), 0x0000u);
+  EXPECT_EQ(f32_to_f16_bits(-1e-12f), 0x8000u);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10):
+  // ties to even -> 1.0 (mantissa even).
+  EXPECT_EQ(f32_to_f16_bits(1.0f + 0x1.0p-11f), 0x3C00u);
+  // 1 + 3*2^-11 ties between odd/even -> rounds up to even mantissa 2.
+  EXPECT_EQ(f32_to_f16_bits(1.0f + 3.0f * 0x1.0p-11f), 0x3C02u);
+  // Just above the tie rounds up.
+  EXPECT_EQ(f32_to_f16_bits(1.0f + 0x1.2p-11f), 0x3C01u);
+}
+
+TEST(Fp16, RoundTripAllHalfValues) {
+  // Every finite half value must survive f16 -> f32 -> f16 exactly.
+  for (std::uint32_t h = 0; h < 0x10000u; ++h) {
+    const auto bits = static_cast<std::uint16_t>(h);
+    if (((bits >> 10) & 0x1Fu) == 0x1Fu) continue;  // Skip inf/NaN.
+    const float f = f16_bits_to_f32(bits);
+    ASSERT_EQ(f32_to_f16_bits(f), bits) << "half bits " << h;
+  }
+}
+
+TEST(Fp16, RoundingErrorBounded) {
+  sim::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto f = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float r = fp16_round(f);
+    // Relative error of round-to-nearest half is <= 2^-11.
+    EXPECT_LE(std::abs(r - f), std::abs(f) * 0x1.0p-11f + 1e-7f);
+  }
+}
+
+TEST(Fp16, ArrayRounding) {
+  std::vector<float> v = {1.0f, 0.1f, 12345.678f};
+  fp16_round_array(v);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[1], f16_bits_to_f32(f32_to_f16_bits(0.1f)));
+  EXPECT_FLOAT_EQ(v[2], f16_bits_to_f32(f32_to_f16_bits(12345.678f)));
+}
+
+TEST(Fp16, MixedPrecisionTrainingConverges) {
+  const auto task = make_classification_task();
+  TrainRunConfig cfg;
+  cfg.model = default_model_for(task);
+  cfg.steps = 400;
+  cfg.batch_size = 32;
+  cfg.mixed_precision = true;
+  const auto res = run_training(task, cfg);
+  EXPECT_GT(res.final_metric, 0.7f);
+}
+
+TEST(Fp16, DbaComposesWithMixedPrecision) {
+  // Section V: the CPU->GPU transfer stays FP32, so DBA still applies; the
+  // FP16 conversion happens after the merge. Quality must stay close to
+  // the mixed-precision run without DBA.
+  const auto task = make_classification_task();
+  TrainRunConfig cfg;
+  cfg.model = default_model_for(task);
+  cfg.steps = 600;
+  cfg.batch_size = 32;
+  cfg.mixed_precision = true;
+  const auto plain = run_training(task, cfg);
+  auto dba_cfg = cfg;
+  dba_cfg.dba_enabled = true;
+  dba_cfg.act_aft_steps = 300;
+  const auto dba = run_training(task, dba_cfg);
+  EXPECT_NEAR(dba.final_metric, plain.final_metric, 0.08f);
+}
+
+}  // namespace
+}  // namespace teco::dl

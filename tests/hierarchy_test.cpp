@@ -1,0 +1,171 @@
+// Cache-hierarchy tests, including the Section IV-B writeback premise.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/hierarchy.hpp"
+#include "offload/multi_device.hpp"
+#include "offload/calibration.hpp"
+#include "dl/model_zoo.hpp"
+
+namespace teco::mem {
+namespace {
+
+TEST(Hierarchy, HitAfterFill) {
+  CacheHierarchy h;
+  h.load(0);
+  const auto s0 = h.stats();
+  EXPECT_EQ(s0.memory_fetches, 1u);
+  h.load(0);  // L1 hit.
+  const auto s1 = h.stats();
+  EXPECT_EQ(s1.l1.hits, 1u);
+  EXPECT_EQ(s1.memory_fetches, 1u);
+}
+
+TEST(Hierarchy, DirtyLineCascadesOnEviction) {
+  // Tiny L1 (2 lines direct-ish) to force eviction quickly.
+  CacheHierarchy h(CacheConfig{2 * 64, 1, 64}, l2_config(), llc_config());
+  h.store(0);
+  h.store(2 * 64);  // Same L1 set: evicts dirty line 0 into L2.
+  const auto s = h.stats();
+  EXPECT_EQ(s.memory_writebacks, 0u);  // Stopped at L2.
+  // The line is findable again without a memory fetch.
+  h.load(0);
+  EXPECT_EQ(h.stats().memory_fetches, 2u);  // Only the two initial fills.
+}
+
+TEST(Hierarchy, FlushDrainsDirtyDataToMemory) {
+  CacheHierarchy h;
+  std::vector<Addr> written;
+  h.set_mem_writeback_fn([&](Addr a) { written.push_back(a); });
+  h.store(0);
+  h.store(64);
+  h.load(128);
+  EXPECT_EQ(h.flush_all(), 2u);
+  EXPECT_EQ(written.size(), 2u);
+  EXPECT_EQ(h.flush_all(), 0u);  // Idempotent.
+}
+
+TEST(Hierarchy, StreamRegionTouchesEveryLine) {
+  CacheHierarchy h;
+  h.stream_region(0, 64 * 100, /*writes=*/true);
+  h.flush_all();
+  EXPECT_EQ(h.stats().memory_writebacks, 100u);
+}
+
+TEST(Hierarchy, ResetClears) {
+  CacheHierarchy h;
+  h.store(0);
+  h.reset();
+  const auto s = h.stats();
+  EXPECT_EQ(s.memory_fetches, 0u);
+  EXPECT_EQ(s.l1.hits + s.l1.misses, 0u);
+}
+
+TEST(AdamSweep, OneWritebackPerParameterLine) {
+  // Section IV-B's premise: the vectorized Adam sweep updates whole cache
+  // lines once, so the update protocol transfers each parameter line
+  // exactly once per step. Validate on the simulated hierarchy.
+  const std::uint64_t n_params = 1 << 18;  // 256k params = 16k lines.
+  const auto r = simulate_adam_sweep(n_params);
+  EXPECT_EQ(r.param_lines, (n_params * 4) / kLineBytes);
+  EXPECT_EQ(r.param_writebacks, r.param_lines);
+  // m and v are written back too (2 more regions).
+  EXPECT_EQ(r.other_writebacks, 2 * r.param_lines);
+}
+
+TEST(AdamSweep, WorkingSetExceedsLlc) {
+  // 16 MiB LLC, 4 arrays x 4 MB: the sweep streams through and the counts
+  // still come out exact (no double writebacks from thrashing).
+  const std::uint64_t n_params = 1 << 20;
+  const auto r = simulate_adam_sweep(n_params);
+  EXPECT_EQ(r.param_writebacks, r.param_lines);
+}
+
+}  // namespace
+}  // namespace teco::mem
+
+namespace teco::offload {
+namespace {
+
+TEST(MultiDevice, MatchesSingleDeviceAtOne) {
+  const auto& cal = default_calibration();
+  MultiDeviceConfig mdc;
+  mdc.devices = 1;
+  mdc.global_batch = 8;
+  const auto md = simulate_multi_device_step(RuntimeKind::kTecoReduction,
+                                             dl::bert_large_cased(), mdc,
+                                             cal);
+  const auto sd = simulate_step(RuntimeKind::kTecoReduction,
+                                dl::bert_large_cased(), 8, cal);
+  EXPECT_DOUBLE_EQ(md.step_total, sd.total());
+  EXPECT_DOUBLE_EQ(md.grad_reduce, 0.0);
+}
+
+TEST(MultiDevice, ValidatesInputs) {
+  const auto& cal = default_calibration();
+  MultiDeviceConfig mdc;
+  mdc.devices = 0;
+  EXPECT_THROW(simulate_multi_device_step(RuntimeKind::kTecoCxl,
+                                          dl::gpt2(), mdc, cal),
+               std::invalid_argument);
+  mdc.devices = 3;
+  mdc.global_batch = 8;
+  EXPECT_THROW(simulate_multi_device_step(RuntimeKind::kTecoCxl,
+                                          dl::gpt2(), mdc, cal),
+               std::invalid_argument);
+}
+
+TEST(MultiDevice, CommShareGrowsWithDevices) {
+  // Fixed global batch: per-device compute shrinks while per-device
+  // communication stays constant — TECO's advantage grows.
+  const auto& cal = default_calibration();
+  const auto pts =
+      scaling_sweep(dl::bert_large_cased(), 32, {1, 2, 4, 8}, cal);
+  ASSERT_EQ(pts.size(), 4u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].baseline_comm_fraction,
+              pts[i - 1].baseline_comm_fraction - 1e-9);
+    EXPECT_GT(pts[i].speedup, 1.0);
+  }
+  EXPECT_GT(pts.back().speedup, pts.front().speedup);
+}
+
+TEST(MultiDevice, SharedUpstreamSlowsBothAndWidensGap) {
+  const auto& cal = default_calibration();
+  MultiDeviceConfig priv{4, 32, false}, shared{4, 32, true};
+  const auto base_p = simulate_multi_device_step(
+      RuntimeKind::kZeroOffload, dl::bert_large_cased(), priv, cal);
+  const auto base_s = simulate_multi_device_step(
+      RuntimeKind::kZeroOffload, dl::bert_large_cased(), shared, cal);
+  const auto teco_p = simulate_multi_device_step(
+      RuntimeKind::kTecoReduction, dl::bert_large_cased(), priv, cal);
+  const auto teco_s = simulate_multi_device_step(
+      RuntimeKind::kTecoReduction, dl::bert_large_cased(), shared, cal);
+  EXPECT_GT(base_s.step_total, base_p.step_total);
+  EXPECT_GE(teco_s.step_total, teco_p.step_total);
+  // Contention hurts the transfer-bound baseline more.
+  EXPECT_GT(base_s.step_total / teco_s.step_total,
+            base_p.step_total / teco_p.step_total);
+  // Single device: topology is irrelevant.
+  MultiDeviceConfig one{1, 8, true};
+  const auto a = simulate_multi_device_step(RuntimeKind::kTecoCxl,
+                                            dl::gpt2(), one, cal);
+  one.shared_upstream = false;
+  const auto b = simulate_multi_device_step(RuntimeKind::kTecoCxl,
+                                            dl::gpt2(), one, cal);
+  EXPECT_DOUBLE_EQ(a.step_total, b.step_total);
+}
+
+TEST(MultiDevice, ReductionCostScalesWithDevices) {
+  const auto& cal = default_calibration();
+  MultiDeviceConfig a{2, 32}, b{8, 32};
+  const auto ra = simulate_multi_device_step(RuntimeKind::kTecoReduction,
+                                             dl::bert_large_cased(), a, cal);
+  const auto rb = simulate_multi_device_step(RuntimeKind::kTecoReduction,
+                                             dl::bert_large_cased(), b, cal);
+  EXPECT_NEAR(rb.grad_reduce / ra.grad_reduce, 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace teco::offload

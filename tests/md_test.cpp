@@ -1,0 +1,208 @@
+// Molecular-dynamics tests: real physics + the offload timeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dl/byte_stats.hpp"
+#include "md/lj_system.hpp"
+#include "md/offload_md.hpp"
+#include "offload/calibration.hpp"
+
+namespace teco::md {
+namespace {
+
+LjConfig small_config() {
+  LjConfig cfg;
+  cfg.fcc_cells = 4;  // 256 atoms.
+  return cfg;
+}
+
+TEST(LjSystem, LatticeSetup) {
+  LjSystem sys(small_config());
+  EXPECT_EQ(sys.n(), 256u);
+  const double expected_box = std::cbrt(256.0 / 0.8442);
+  EXPECT_NEAR(sys.box_length(), expected_box, 1e-9);
+  for (const auto& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box_length());
+  }
+}
+
+TEST(LjSystem, InitialTemperatureExact) {
+  LjSystem sys(small_config());
+  EXPECT_NEAR(sys.instantaneous_temperature(), 1.44, 1e-9);
+}
+
+TEST(LjSystem, ZeroNetMomentum) {
+  LjSystem sys(small_config());
+  Vec3 net{};
+  for (const auto& v : sys.velocities()) {
+    net.x += v.x;
+    net.y += v.y;
+    net.z += v.z;
+  }
+  EXPECT_NEAR(net.x, 0.0, 1e-9);
+  EXPECT_NEAR(net.y, 0.0, 1e-9);
+  EXPECT_NEAR(net.z, 0.0, 1e-9);
+}
+
+TEST(LjSystem, NewtonsThirdLaw) {
+  LjSystem sys(small_config());
+  Vec3 net{};
+  for (const auto& f : sys.forces()) {
+    net.x += f.x;
+    net.y += f.y;
+    net.z += f.z;
+  }
+  EXPECT_NEAR(net.x, 0.0, 1e-7);
+  EXPECT_NEAR(net.y, 0.0, 1e-7);
+  EXPECT_NEAR(net.z, 0.0, 1e-7);
+}
+
+TEST(LjSystem, EnergyConservationNve) {
+  LjSystem sys(small_config());
+  const double e0 = sys.total_energy();
+  sys.run(100);
+  const double e1 = sys.total_energy();
+  // Velocity Verlet at dt=0.005 holds total energy to a small drift.
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.01 + 1.0);
+}
+
+TEST(LjSystem, MeltHeatsPotentialEnergy) {
+  // Melting from a perfect lattice: potential energy rises (less negative)
+  // as order is destroyed while total energy stays put.
+  LjSystem sys(small_config());
+  const double pe0 = sys.potential_energy();
+  sys.run(200);
+  EXPECT_GT(sys.potential_energy(), pe0);
+}
+
+TEST(LjSystem, CellListMatchesBruteForce) {
+  // fcc_cells=4 gives a box under 3 cutoffs, so forces fall back to the
+  // O(N^2) reference path; fcc_cells=6 uses the linked-cell path. Both are
+  // perfect FCC lattices at the same density and cutoff, so the per-atom
+  // potential energy must agree closely — a direct cross-validation of the
+  // cell-list pair enumeration.
+  LjSystem brute(small_config());          // 256 atoms, O(N^2).
+  LjConfig big = small_config();
+  big.fcc_cells = 6;                       // 864 atoms, celled.
+  LjSystem celled(big);
+  const double pe_brute = brute.potential_energy() / brute.n();
+  const double pe_celled = celled.potential_energy() / celled.n();
+  EXPECT_NEAR(pe_celled, pe_brute, 0.02);
+  // Truncated (rc = 2.5, no tail correction) FCC LJ lattice energy at
+  // rho = 0.8442 is about -6.77 epsilon/atom.
+  EXPECT_NEAR(pe_celled, -6.77, 0.15);
+  const double e0 = celled.total_energy();
+  celled.run(50);
+  EXPECT_NEAR(celled.total_energy(), e0, std::abs(e0) * 0.01 + 1.0);
+}
+
+TEST(LjSystem, PositionsStayInBox) {
+  LjSystem sys(small_config());
+  sys.run(50);
+  for (const auto& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box_length());
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, sys.box_length());
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, sys.box_length());
+  }
+}
+
+TEST(LjSystem, RadialDistributionShowsLiquidStructure) {
+  // After melting, g(r) must show the LJ liquid signature: ~0 inside the
+  // core (r < 0.9), a strong first peak near r ~ 1.1 sigma, and decay
+  // toward 1 at long range.
+  LjConfig cfg = small_config();
+  cfg.fcc_cells = 5;  // 500 atoms for better statistics.
+  LjSystem sys(cfg);
+  sys.run(300);  // Melt.
+  const auto g = sys.radial_distribution(60, 3.0);  // dr = 0.05.
+  const double g_core = g[10];     // r ~ 0.5.
+  double g_peak = 0.0;
+  for (std::size_t b = 18; b <= 26; ++b) g_peak = std::max(g_peak, g[b]);
+  double g_far = 0.0;
+  for (std::size_t b = 50; b < 60; ++b) g_far += g[b] / 10.0;
+  EXPECT_LT(g_core, 0.05);
+  EXPECT_GT(g_peak, 1.8);
+  EXPECT_NEAR(g_far, 1.0, 0.35);
+}
+
+TEST(LjSystem, CrystalHasSharperStructureThanLiquid) {
+  LjConfig cfg = small_config();
+  cfg.fcc_cells = 5;
+  LjSystem crystal(cfg);        // t = 0: perfect lattice.
+  LjSystem liquid(cfg);
+  liquid.run(300);
+  const auto gc = crystal.radial_distribution(60, 3.0);
+  const auto gl = liquid.radial_distribution(60, 3.0);
+  double peak_c = 0.0, peak_l = 0.0;
+  for (std::size_t b = 0; b < 60; ++b) {
+    peak_c = std::max(peak_c, gc[b]);
+    peak_l = std::max(peak_l, gl[b]);
+  }
+  EXPECT_GT(peak_c, peak_l);  // Lattice peaks are sharper.
+}
+
+TEST(LjSystem, PositionUpdatesFavorLowBytes) {
+  // The Section VII argument for DBA on positions: per-step deltas are
+  // small (v*dt), so most changed position floats change only low bytes,
+  // while forces churn all bytes.
+  LjSystem sys(small_config());
+  sys.run(20);  // Let the lattice melt a little.
+  const auto pos_prev = sys.positions_f32();
+  const auto f_prev = sys.forces_f32();
+  sys.step();
+  const auto pos_curr = sys.positions_f32();
+  const auto f_curr = sys.forces_f32();
+  const auto ps = dl::compare_arrays(pos_prev, pos_curr);
+  const auto fs = dl::compare_arrays(f_prev, f_curr);
+  EXPECT_GT(ps.frac_low2_covered(), fs.frac_low2_covered());
+}
+
+TEST(OffloadMd, BaselineCommFractionNearPaper) {
+  // Section VII: data transfer takes 27 % of LAMMPS time on the baseline.
+  const auto b = simulate_md_step(MdMode::kExplicitCopy, MdWorkload{},
+                                  offload::default_calibration());
+  EXPECT_NEAR(b.comm_fraction(), 0.27, 0.08);
+}
+
+TEST(OffloadMd, TecoImprovesEndToEnd) {
+  const auto r =
+      md_generality_report(MdWorkload{}, offload::default_calibration());
+  // Paper: 21.5 % improvement; 17 % volume reduction; CXL 78 % / DBA 22 %.
+  EXPECT_GT(r.improvement, 0.10);
+  EXPECT_LT(r.improvement, 0.35);
+  EXPECT_GT(r.volume_reduction, 0.05);
+  EXPECT_LT(r.volume_reduction, 0.30);
+  EXPECT_GT(r.cxl_contribution, r.dba_contribution);
+  EXPECT_NEAR(r.cxl_contribution + r.dba_contribution, 1.0, 1e-9);
+}
+
+TEST(OffloadMd, ModesOrdered) {
+  const auto& cal = offload::default_calibration();
+  const MdWorkload w{};
+  const auto base = simulate_md_step(MdMode::kExplicitCopy, w, cal);
+  const auto cxl = simulate_md_step(MdMode::kTecoCxl, w, cal);
+  const auto red = simulate_md_step(MdMode::kTecoReduction, w, cal);
+  EXPECT_GT(base.total(), cxl.total());
+  EXPECT_GE(cxl.total() + 1e-12, red.total());
+  EXPECT_LT(red.bytes_to_device, cxl.bytes_to_device);  // DBA on positions.
+  EXPECT_EQ(red.bytes_to_cpu, cxl.bytes_to_cpu);        // Forces untouched.
+}
+
+TEST(OffloadMd, VolumeScalesWithAtoms) {
+  const auto& cal = offload::default_calibration();
+  MdWorkload small{};
+  small.n_atoms = 1'000'000;
+  MdWorkload big{};
+  big.n_atoms = 4'000'000;
+  const auto a = simulate_md_step(MdMode::kTecoCxl, small, cal);
+  const auto b = simulate_md_step(MdMode::kTecoCxl, big, cal);
+  EXPECT_NEAR(static_cast<double>(b.bytes_to_cpu) / a.bytes_to_cpu, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace teco::md

@@ -1,0 +1,127 @@
+// Cross-cutting invariants of the offload timelines, swept over the full
+// runtime x model x batch grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dl/model_zoo.hpp"
+#include "offload/experiments.hpp"
+#include "offload/runtime.hpp"
+
+namespace teco::offload {
+namespace {
+
+const Calibration& cal() { return default_calibration(); }
+
+const std::vector<RuntimeKind>& all_kinds() {
+  static const std::vector<RuntimeKind> kinds = {
+      RuntimeKind::kZeroOffload, RuntimeKind::kZeroOffloadDpu,
+      RuntimeKind::kCxlInvalidation, RuntimeKind::kTecoCxl,
+      RuntimeKind::kTecoReduction};
+  return kinds;
+}
+
+class GridSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint32_t>> {
+ protected:
+  RuntimeKind kind() const {
+    return all_kinds()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  }
+  dl::ModelConfig model() const {
+    return dl::table3_models()[static_cast<std::size_t>(
+        std::get<1>(GetParam()))];
+  }
+  std::uint32_t batch() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(GridSweep, VolumeConservation) {
+  const auto s = simulate_step(kind(), model(), batch(), cal());
+  // Gradients always cross in full.
+  EXPECT_EQ(s.bytes_to_cpu, model().gradient_bytes());
+  // Parameters cross in full except under DBA (half at dirty_bytes = 2).
+  if (kind() == RuntimeKind::kTecoReduction) {
+    EXPECT_EQ(s.bytes_to_device, model().param_bytes() / 2);
+  } else {
+    EXPECT_EQ(s.bytes_to_device, model().param_bytes());
+  }
+}
+
+TEST_P(GridSweep, ExposureBoundedByRawTransferTime) {
+  const auto s = simulate_step(kind(), model(), batch(), cal());
+  // No runtime can expose more than the serialized transfer + protocol
+  // slack (latency, setup, queue round-trips).
+  const double slack = 1.2;
+  const double raw_param =
+      static_cast<double>(model().param_bytes()) /
+      (cal().phy.raw_bandwidth * 0.5);  // Worst effective bandwidth bound.
+  EXPECT_LE(s.param_transfer_exposed, raw_param * slack + 1e-3);
+  const double raw_grad = static_cast<double>(model().gradient_bytes()) /
+                          (cal().phy.raw_bandwidth * 0.5);
+  EXPECT_LE(s.grad_transfer_exposed, raw_grad * slack + 1e-3);
+}
+
+TEST_P(GridSweep, MoreBandwidthNeverHurts) {
+  auto fast = cal();
+  fast.phy.raw_bandwidth *= 2.0;
+  const auto slow_s = simulate_step(kind(), model(), batch(), cal());
+  const auto fast_s = simulate_step(kind(), model(), batch(), fast);
+  EXPECT_LE(fast_s.total(), slow_s.total() + 1e-9);
+}
+
+TEST_P(GridSweep, FasterCpuNeverHurts) {
+  auto fast = cal();
+  fast.cpu_stream_bw *= 2.0;
+  const auto slow_s = simulate_step(kind(), model(), batch(), cal());
+  const auto fast_s = simulate_step(kind(), model(), batch(), fast);
+  EXPECT_LE(fast_s.total(), slow_s.total() + 1e-9);
+}
+
+TEST_P(GridSweep, ComputePhasesIdenticalAcrossRuntimes) {
+  // Runtimes differ only in transfer scheduling; fwd/bwd and CPU phase
+  // durations must be byte-identical to the baseline's.
+  const auto s = simulate_step(kind(), model(), batch(), cal());
+  const auto base =
+      simulate_step(RuntimeKind::kZeroOffload, model(), batch(), cal());
+  EXPECT_DOUBLE_EQ(s.forward_backward, base.forward_backward);
+  EXPECT_DOUBLE_EQ(s.grad_optimizer, base.grad_optimizer);
+  EXPECT_DOUBLE_EQ(s.param_optimizer, base.param_optimizer);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimesModelsBatches, GridSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),  // Runtime.
+                       ::testing::Values(0, 1, 2, 3, 4),  // Model.
+                       ::testing::Values(4u, 8u)));
+
+TEST(ScheduleProperties, TrainingTimeMonotoneInActivationStep) {
+  // Later activation -> more TECO-CXL steps -> never faster.
+  const auto m = dl::bert_large_cased();
+  double prev = 0.0;
+  for (const std::size_t act : {0ul, 100ul, 500ul, 900ul}) {
+    const double t = schedule_training_time(RuntimeKind::kTecoReduction, m,
+                                            4, 1000, act, cal());
+    EXPECT_GE(t + 1e-12, prev);
+    prev = t;
+  }
+}
+
+TEST(ScheduleProperties, ActivationBeyondScheduleClamps) {
+  const auto m = dl::gpt2();
+  const double at_end = schedule_training_time(
+      RuntimeKind::kTecoReduction, m, 4, 500, 500, cal());
+  const double beyond = schedule_training_time(
+      RuntimeKind::kTecoReduction, m, 4, 500, 10'000, cal());
+  EXPECT_DOUBLE_EQ(at_end, beyond);
+}
+
+TEST(ScheduleProperties, NonReductionKindsIgnoreActivation) {
+  const auto m = dl::gpt2();
+  const double a = schedule_training_time(RuntimeKind::kTecoCxl, m, 4, 100,
+                                          0, cal());
+  const double b = schedule_training_time(RuntimeKind::kTecoCxl, m, 4, 100,
+                                          50, cal());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace teco::offload

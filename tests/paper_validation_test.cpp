@@ -1,0 +1,176 @@
+// Paper-band acceptance suite: one place asserting that every headline
+// quantity of the reproduction stays inside its documented band
+// (EXPERIMENTS.md). These tests are the regression fence for the
+// calibration: changing a constant that silently breaks an experiment's
+// shape fails here.
+#include <gtest/gtest.h>
+
+#include "compress/lz4.hpp"
+#include "compress/param_corpus.hpp"
+#include "compress/quant_model.hpp"
+#include "dl/dba_training.hpp"
+#include "dl/model_zoo.hpp"
+#include "md/offload_md.hpp"
+#include "offload/experiments.hpp"
+
+namespace teco {
+namespace {
+
+const offload::Calibration& cal() { return offload::default_calibration(); }
+
+TEST(PaperBands, TableI_CommShare) {
+  const double paper[] = {0.4224, 0.3787, 0.2865, 0.2595};
+  const std::uint32_t batches[] = {4, 8, 16, 20};
+  for (int i = 0; i < 4; ++i) {
+    const auto s = offload::simulate_step(offload::RuntimeKind::kZeroOffload,
+                                          dl::bert_large_cased(), batches[i],
+                                          cal());
+    EXPECT_NEAR(s.comm_fraction(), paper[i], 0.05) << "batch " << batches[i];
+  }
+}
+
+TEST(PaperBands, TableIV_SpeedupCells) {
+  struct Cell {
+    const char* model;
+    std::uint32_t batch;
+    double paper;
+    double tol;
+  };
+  // Generous per-cell tolerances; the headline averages are tighter below.
+  const Cell cells[] = {
+      {"GPT2", 4, 1.82, 0.25},
+      {"Albert-xxlarge-v1", 4, 1.25, 0.15},
+      {"Bert-large-cased", 4, 1.60, 0.15},
+      {"T5-large", 4, 1.73, 0.15},
+      {"Bert-large-cased", 16, 1.41, 0.15},
+  };
+  for (const auto& c : cells) {
+    const auto cell = offload::speedup_vs_baseline(
+        offload::RuntimeKind::kTecoReduction, dl::model_by_name(c.model),
+        c.batch, cal());
+    ASSERT_TRUE(cell.valid) << c.model;
+    EXPECT_NEAR(cell.speedup, c.paper, c.tol) << c.model << " b" << c.batch;
+  }
+}
+
+TEST(PaperBands, Headline) {
+  const auto h =
+      offload::headline_summary(dl::table3_models(), {4, 8, 16}, cal());
+  // Paper: -33.7 % avg time (up to -55.4 %); -93.7 % avg comm (up to -100%).
+  EXPECT_NEAR(h.avg_time_reduction, 0.337, 0.08);
+  EXPECT_NEAR(h.avg_comm_reduction, 0.937, 0.05);
+  EXPECT_GT(h.max_comm_reduction, 0.97);
+}
+
+TEST(PaperBands, InvalidationMotivation) {
+  // Paper: +56.6 % average, up to +99.7 % (T5-large).
+  double sum = 0.0, worst = 0.0;
+  int n = 0;
+  for (const auto& m : dl::table3_models()) {
+    for (const std::uint32_t b : {4u, 8u, 16u}) {
+      if (m.full_graph_only && b != 4u) continue;
+      const auto upd =
+          offload::simulate_step(offload::RuntimeKind::kTecoCxl, m, b, cal());
+      const auto inv = offload::simulate_step(
+          offload::RuntimeKind::kCxlInvalidation, m, b, cal());
+      const double inc = inv.total() / upd.total() - 1.0;
+      sum += inc;
+      worst = std::max(worst, inc);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.566, 0.25);
+  EXPECT_NEAR(worst, 0.997, 0.15);
+}
+
+TEST(PaperBands, TableVI_ElevenBGainsLeast) {
+  double min_speedup = 1e9, eleven_b = 0.0;
+  for (const auto& m : dl::table6_models()) {
+    const auto c = offload::speedup_vs_baseline(
+        offload::RuntimeKind::kTecoReduction, m, 4, cal());
+    min_speedup = std::min(min_speedup, c.speedup);
+    if (m.name == "GPT2-11B") eleven_b = c.speedup;
+  }
+  EXPECT_DOUBLE_EQ(min_speedup, eleven_b);
+  EXPECT_NEAR(eleven_b, 1.41, 0.15);  // Paper cell.
+  // Paper: compute is ~63.4 % of the 11B baseline step.
+  const auto b = offload::simulate_step(offload::RuntimeKind::kZeroOffload,
+                                        dl::gpt2_11b(), 4, cal());
+  const double compute_share =
+      (b.forward_backward + b.grad_optimizer + b.param_optimizer) / b.total();
+  EXPECT_NEAR(compute_share, 0.634, 0.06);
+}
+
+TEST(PaperBands, VolumeAndDbaContribution) {
+  for (const auto& m : dl::table3_models()) {
+    const auto r = offload::volume_report(offload::RuntimeKind::kTecoReduction,
+                                          m, 4, cal());
+    EXPECT_NEAR(r.param_volume_reduction, 0.50, 0.01) << m.name;
+    const auto cxl =
+        offload::simulate_step(offload::RuntimeKind::kTecoCxl, m, 4, cal());
+    const auto red = offload::simulate_step(
+        offload::RuntimeKind::kTecoReduction, m, 4, cal());
+    const auto base = offload::simulate_step(
+        offload::RuntimeKind::kZeroOffload, m, 4, cal());
+    const double dba_gain = (cxl.total() - red.total()) / base.total();
+    EXPECT_GE(dba_gain, 0.0) << m.name;
+    EXPECT_LE(dba_gain, 0.085) << m.name;  // Paper: 0.8 %-7.3 %.
+  }
+}
+
+TEST(PaperBands, TableVII_ZeroQuantRatio) {
+  const auto row = compress::table7_training_hours();
+  EXPECT_NEAR(row.ratio, 2.86, 0.6);
+}
+
+TEST(PaperBands, TableVIII_Lz4Ratios) {
+  const double paper_savings[] = {0.05, 0.0, 0.0, 0.36};
+  const auto specs = compress::table8_corpora();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto corpus = compress::make_param_corpus(specs[i], 1 << 20);
+    EXPECT_NEAR(1.0 - compress::compression_ratio(corpus), paper_savings[i],
+                0.05)
+        << specs[i].model;
+  }
+}
+
+TEST(PaperBands, SectionVII_MdGenerality) {
+  const auto r =
+      md::md_generality_report(md::MdWorkload{}, cal());
+  EXPECT_NEAR(r.improvement, 0.215, 0.10);               // Paper: 21.5 %.
+  EXPECT_NEAR(r.baseline.comm_fraction(), 0.27, 0.06);   // Paper: 27 %.
+  EXPECT_NEAR(r.volume_reduction, 0.17, 0.10);           // Paper: 17 %.
+  EXPECT_GT(r.cxl_contribution, 0.5);                    // Paper: 78 %.
+}
+
+TEST(PaperBands, Fig12_ExposureCuts) {
+  const auto base = offload::simulate_step(offload::RuntimeKind::kZeroOffload,
+                                           dl::t5_large(), 4, cal());
+  const auto cxl = offload::simulate_step(offload::RuntimeKind::kTecoCxl,
+                                          dl::t5_large(), 4, cal());
+  const auto red = offload::simulate_step(
+      offload::RuntimeKind::kTecoReduction, dl::t5_large(), 4, cal());
+  const double cut_cxl =
+      1.0 - cxl.param_transfer_exposed / base.param_transfer_exposed;
+  EXPECT_NEAR(cut_cxl, 0.76, 0.15);                     // Paper: 76 %.
+  EXPECT_LT(red.param_transfer_exposed, sim::ms(1.0));  // Fully hidden.
+}
+
+TEST(PaperBands, DbaAccuracyDeltaSmall) {
+  // Table V: small metric deltas with DBA active after step 500.
+  const auto task = dl::make_classification_task(77);
+  dl::TrainRunConfig cfg;
+  cfg.model = dl::default_model_for(task, 9);
+  cfg.steps = 900;
+  cfg.batch_size = 32;
+  cfg.record_every = 0;
+  const auto orig = dl::run_training(task, cfg);
+  auto d = cfg;
+  d.dba_enabled = true;
+  d.act_aft_steps = 500;
+  const auto dba = dl::run_training(task, d);
+  EXPECT_NEAR(dba.final_metric, orig.final_metric, 0.06f);
+}
+
+}  // namespace
+}  // namespace teco

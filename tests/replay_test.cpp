@@ -1,0 +1,120 @@
+// Trace-replay integration tests: the protocol stack and the analytic
+// timeline must tell the same story.
+#include <gtest/gtest.h>
+
+#include "cxl/channel.hpp"
+#include "mem/address.hpp"
+#include "offload/calibration.hpp"
+#include "offload/trace_replay.hpp"
+
+namespace teco::offload {
+namespace {
+
+ReplayStepConfig small_step() {
+  ReplayStepConfig cfg;
+  cfg.param_lines = 20'000;
+  cfg.grad_lines = 20'000;
+  cfg.forward = sim::ms(5);
+  cfg.backward = sim::ms(10);
+  cfg.grad_clip = sim::ms(1);
+  cfg.adam = sim::ms(4);
+  return cfg;
+}
+
+TEST(Replay, UpdateProtocolVolumes) {
+  const auto r = replay_training_step(small_step(),
+                                      default_calibration());
+  EXPECT_EQ(r.bytes_to_cpu, 20'000u * 64u);
+  EXPECT_EQ(r.bytes_to_device, 20'000u * 64u);
+  EXPECT_EQ(r.agent_stats.update_pushes, 40'000u);
+  EXPECT_EQ(r.agent_stats.demand_fetches, 0u);
+  EXPECT_EQ(r.snoop_filter_peak, 0u);  // The Section IV-A2 claim.
+  EXPECT_EQ(r.agent_stats.cpu_flushes, 20'000u);
+}
+
+TEST(Replay, DbaHalvesParameterVolumeOnly) {
+  auto cfg = small_step();
+  cfg.dba = dba::DbaRegister(true, 2);
+  const auto r = replay_training_step(cfg, default_calibration());
+  EXPECT_EQ(r.bytes_to_device, 20'000u * 32u);  // Params trimmed.
+  EXPECT_EQ(r.bytes_to_cpu, 20'000u * 64u);     // Gradients full.
+}
+
+TEST(Replay, MatchesAnalyticChannelTimeline) {
+  // The replay pushes 20k parameter lines one at a time; the runtime's
+  // paced_line_stream pushes the same lines in 128 chunks. Both sit on the
+  // identical Channel model, so the exposed parameter-transfer time must
+  // agree closely.
+  const auto& cal = default_calibration();
+  const auto cfg = small_step();
+  const auto r = replay_training_step(cfg, cal);
+
+  cxl::Channel down("check", cal.phy.cxl_bandwidth(), cal.phy.packet_latency,
+                    cal.cxl_queue_entries);
+  const auto pkt =
+      cxl::data_packet(cxl::MessageType::kFlushData, 0, mem::kLineBytes);
+  // Same production schedule as the replay's Adam sweep, starting at the
+  // replay's adam_start (grads fully hidden here, so cpu starts at
+  // forward+backward plus nothing).
+  const sim::Time adam_start = r.grads_fence + cfg.grad_clip;
+  sim::Time last = adam_start;
+  for (std::uint64_t i = 0; i < cfg.param_lines; ++i) {
+    const sim::Time ready =
+        adam_start + cfg.adam * static_cast<double>(i + 1) /
+                         static_cast<double>(cfg.param_lines);
+    last = down.submit(ready, pkt).delivered;
+  }
+  const sim::Time expected_exposed =
+      std::max(0.0, last - (adam_start + cfg.adam));
+  EXPECT_NEAR(r.param_exposed, expected_exposed,
+              0.02 * expected_exposed + 1e-6);
+}
+
+TEST(Replay, ShuffleDoesNotChangeThroughput) {
+  // The link serializes writebacks regardless of address order; only
+  // addresses differ, not timing.
+  auto seq = small_step();
+  auto shuf = small_step();
+  shuf.shuffle = true;
+  const auto a = replay_training_step(seq, default_calibration());
+  const auto b = replay_training_step(shuf, default_calibration());
+  EXPECT_NEAR(a.param_exposed, b.param_exposed, 1e-9);
+  EXPECT_NEAR(a.grad_exposed, b.grad_exposed, 1e-9);
+  EXPECT_EQ(a.bytes_to_device, b.bytes_to_device);
+}
+
+TEST(Replay, InvalidationExposesTransfersAndGrowsSnoopFilter) {
+  auto cfg = small_step();
+  cfg.protocol = coherence::Protocol::kInvalidation;
+  const auto inv = replay_training_step(cfg, default_calibration());
+  const auto upd = replay_training_step(small_step(), default_calibration());
+  EXPECT_GT(inv.param_exposed, upd.param_exposed);
+  EXPECT_GT(inv.grad_exposed, upd.grad_exposed);
+  EXPECT_GT(inv.step_total, upd.step_total);
+  EXPECT_GT(inv.agent_stats.demand_fetches, 0u);
+  EXPECT_GT(inv.snoop_filter_peak, 0u);   // Directory needed again.
+  EXPECT_EQ(upd.snoop_filter_peak, 0u);
+}
+
+TEST(Replay, GradStreamHiddenWhenBackwardLongEnough)  {
+  auto cfg = small_step();
+  // 20k lines = 1.28 MB; at 15 GB/s that is ~85 us << 10 ms backward.
+  const auto r = replay_training_step(cfg, default_calibration());
+  EXPECT_LT(r.grad_exposed, sim::us(10));
+  // Exposed when the backward window is shorter than the transfer.
+  cfg.backward = sim::us(20);
+  const auto tight = replay_training_step(cfg, default_calibration());
+  EXPECT_GT(tight.grad_exposed, sim::us(30));
+}
+
+TEST(Replay, StepTotalComposition) {
+  const auto cfg = small_step();
+  const auto r = replay_training_step(cfg, default_calibration());
+  EXPECT_NEAR(r.step_total,
+              cfg.forward + cfg.backward + r.grad_exposed + cfg.grad_clip +
+                  cfg.adam + r.param_exposed,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace teco::offload
