@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_speedup_cxl.dir/bench_fig11_speedup_cxl.cpp.o"
+  "CMakeFiles/bench_fig11_speedup_cxl.dir/bench_fig11_speedup_cxl.cpp.o.d"
+  "bench_fig11_speedup_cxl"
+  "bench_fig11_speedup_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_speedup_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_value_changes.dir/bench_fig2_value_changes.cpp.o"
+  "CMakeFiles/bench_fig2_value_changes.dir/bench_fig2_value_changes.cpp.o.d"
+  "bench_fig2_value_changes"
+  "bench_fig2_value_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_value_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invalidation_ablation.dir/bench_invalidation_ablation.cpp.o"
+  "CMakeFiles/bench_invalidation_ablation.dir/bench_invalidation_ablation.cpp.o.d"
+  "bench_invalidation_ablation"
+  "bench_invalidation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invalidation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lammps_generality.dir/bench_lammps_generality.cpp.o"
+  "CMakeFiles/bench_lammps_generality.dir/bench_lammps_generality.cpp.o.d"
+  "bench_lammps_generality"
+  "bench_lammps_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lammps_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

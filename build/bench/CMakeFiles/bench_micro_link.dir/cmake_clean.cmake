@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_link.dir/bench_micro_link.cpp.o"
+  "CMakeFiles/bench_micro_link.dir/bench_micro_link.cpp.o.d"
+  "bench_micro_link"
+  "bench_micro_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

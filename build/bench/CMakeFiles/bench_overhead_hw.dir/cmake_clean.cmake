@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_hw.dir/bench_overhead_hw.cpp.o"
+  "CMakeFiles/bench_overhead_hw.dir/bench_overhead_hw.cpp.o.d"
+  "bench_overhead_hw"
+  "bench_overhead_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

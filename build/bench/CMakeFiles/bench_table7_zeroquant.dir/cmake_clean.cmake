@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_zeroquant.dir/bench_table7_zeroquant.cpp.o"
+  "CMakeFiles/bench_table7_zeroquant.dir/bench_table7_zeroquant.cpp.o.d"
+  "bench_table7_zeroquant"
+  "bench_table7_zeroquant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_zeroquant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_lz4.dir/bench_table8_lz4.cpp.o"
+  "CMakeFiles/bench_table8_lz4.dir/bench_table8_lz4.cpp.o.d"
+  "bench_table8_lz4"
+  "bench_table8_lz4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_lz4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume_dba.dir/bench_volume_dba.cpp.o"
+  "CMakeFiles/bench_volume_dba.dir/bench_volume_dba.cpp.o.d"
+  "bench_volume_dba"
+  "bench_volume_dba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_dba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_act_steps.dir/autotune_act_steps.cpp.o"
+  "CMakeFiles/autotune_act_steps.dir/autotune_act_steps.cpp.o.d"
+  "autotune_act_steps"
+  "autotune_act_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_act_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_trace.dir/coherence_trace.cpp.o"
+  "CMakeFiles/coherence_trace.dir/coherence_trace.cpp.o.d"
+  "coherence_trace"
+  "coherence_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lammps_melt.dir/lammps_melt.cpp.o"
+  "CMakeFiles/lammps_melt.dir/lammps_melt.cpp.o.d"
+  "lammps_melt"
+  "lammps_melt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lammps_melt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

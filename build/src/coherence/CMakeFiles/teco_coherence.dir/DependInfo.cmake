@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/giant_cache.cpp" "src/coherence/CMakeFiles/teco_coherence.dir/giant_cache.cpp.o" "gcc" "src/coherence/CMakeFiles/teco_coherence.dir/giant_cache.cpp.o.d"
+  "/root/repo/src/coherence/home_agent.cpp" "src/coherence/CMakeFiles/teco_coherence.dir/home_agent.cpp.o" "gcc" "src/coherence/CMakeFiles/teco_coherence.dir/home_agent.cpp.o.d"
+  "/root/repo/src/coherence/snoop_filter.cpp" "src/coherence/CMakeFiles/teco_coherence.dir/snoop_filter.cpp.o" "gcc" "src/coherence/CMakeFiles/teco_coherence.dir/snoop_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/teco_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dba/CMakeFiles/teco_dba.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

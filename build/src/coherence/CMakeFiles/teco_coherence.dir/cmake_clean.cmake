@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_coherence.dir/giant_cache.cpp.o"
+  "CMakeFiles/teco_coherence.dir/giant_cache.cpp.o.d"
+  "CMakeFiles/teco_coherence.dir/home_agent.cpp.o"
+  "CMakeFiles/teco_coherence.dir/home_agent.cpp.o.d"
+  "CMakeFiles/teco_coherence.dir/snoop_filter.cpp.o"
+  "CMakeFiles/teco_coherence.dir/snoop_filter.cpp.o.d"
+  "libteco_coherence.a"
+  "libteco_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

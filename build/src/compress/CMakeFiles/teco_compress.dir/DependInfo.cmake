@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/lz4.cpp" "src/compress/CMakeFiles/teco_compress.dir/lz4.cpp.o" "gcc" "src/compress/CMakeFiles/teco_compress.dir/lz4.cpp.o.d"
+  "/root/repo/src/compress/param_corpus.cpp" "src/compress/CMakeFiles/teco_compress.dir/param_corpus.cpp.o" "gcc" "src/compress/CMakeFiles/teco_compress.dir/param_corpus.cpp.o.d"
+  "/root/repo/src/compress/quant_model.cpp" "src/compress/CMakeFiles/teco_compress.dir/quant_model.cpp.o" "gcc" "src/compress/CMakeFiles/teco_compress.dir/quant_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/teco_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/teco_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/teco_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/dba/CMakeFiles/teco_dba.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/teco_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_compress.dir/lz4.cpp.o"
+  "CMakeFiles/teco_compress.dir/lz4.cpp.o.d"
+  "CMakeFiles/teco_compress.dir/param_corpus.cpp.o"
+  "CMakeFiles/teco_compress.dir/param_corpus.cpp.o.d"
+  "CMakeFiles/teco_compress.dir/quant_model.cpp.o"
+  "CMakeFiles/teco_compress.dir/quant_model.cpp.o.d"
+  "libteco_compress.a"
+  "libteco_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_core.dir/autotune.cpp.o"
+  "CMakeFiles/teco_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/teco_core.dir/config.cpp.o"
+  "CMakeFiles/teco_core.dir/config.cpp.o.d"
+  "CMakeFiles/teco_core.dir/gantt.cpp.o"
+  "CMakeFiles/teco_core.dir/gantt.cpp.o.d"
+  "CMakeFiles/teco_core.dir/report.cpp.o"
+  "CMakeFiles/teco_core.dir/report.cpp.o.d"
+  "CMakeFiles/teco_core.dir/session.cpp.o"
+  "CMakeFiles/teco_core.dir/session.cpp.o.d"
+  "libteco_core.a"
+  "libteco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

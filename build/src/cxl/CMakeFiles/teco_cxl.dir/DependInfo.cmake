@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/channel.cpp" "src/cxl/CMakeFiles/teco_cxl.dir/channel.cpp.o" "gcc" "src/cxl/CMakeFiles/teco_cxl.dir/channel.cpp.o.d"
+  "/root/repo/src/cxl/flit.cpp" "src/cxl/CMakeFiles/teco_cxl.dir/flit.cpp.o" "gcc" "src/cxl/CMakeFiles/teco_cxl.dir/flit.cpp.o.d"
+  "/root/repo/src/cxl/link.cpp" "src/cxl/CMakeFiles/teco_cxl.dir/link.cpp.o" "gcc" "src/cxl/CMakeFiles/teco_cxl.dir/link.cpp.o.d"
+  "/root/repo/src/cxl/reliability.cpp" "src/cxl/CMakeFiles/teco_cxl.dir/reliability.cpp.o" "gcc" "src/cxl/CMakeFiles/teco_cxl.dir/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_cxl.dir/channel.cpp.o"
+  "CMakeFiles/teco_cxl.dir/channel.cpp.o.d"
+  "CMakeFiles/teco_cxl.dir/flit.cpp.o"
+  "CMakeFiles/teco_cxl.dir/flit.cpp.o.d"
+  "CMakeFiles/teco_cxl.dir/link.cpp.o"
+  "CMakeFiles/teco_cxl.dir/link.cpp.o.d"
+  "CMakeFiles/teco_cxl.dir/reliability.cpp.o"
+  "CMakeFiles/teco_cxl.dir/reliability.cpp.o.d"
+  "libteco_cxl.a"
+  "libteco_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_dba.dir/aggregator.cpp.o"
+  "CMakeFiles/teco_dba.dir/aggregator.cpp.o.d"
+  "CMakeFiles/teco_dba.dir/disaggregator.cpp.o"
+  "CMakeFiles/teco_dba.dir/disaggregator.cpp.o.d"
+  "libteco_dba.a"
+  "libteco_dba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_dba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/adam.cpp" "src/dl/CMakeFiles/teco_dl.dir/adam.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/adam.cpp.o.d"
+  "/root/repo/src/dl/attention.cpp" "src/dl/CMakeFiles/teco_dl.dir/attention.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/attention.cpp.o.d"
+  "/root/repo/src/dl/byte_stats.cpp" "src/dl/CMakeFiles/teco_dl.dir/byte_stats.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/byte_stats.cpp.o.d"
+  "/root/repo/src/dl/dba_training.cpp" "src/dl/CMakeFiles/teco_dl.dir/dba_training.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/dba_training.cpp.o.d"
+  "/root/repo/src/dl/fp16.cpp" "src/dl/CMakeFiles/teco_dl.dir/fp16.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/fp16.cpp.o.d"
+  "/root/repo/src/dl/gnn.cpp" "src/dl/CMakeFiles/teco_dl.dir/gnn.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/gnn.cpp.o.d"
+  "/root/repo/src/dl/mlp.cpp" "src/dl/CMakeFiles/teco_dl.dir/mlp.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/mlp.cpp.o.d"
+  "/root/repo/src/dl/model_zoo.cpp" "src/dl/CMakeFiles/teco_dl.dir/model_zoo.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/dl/synthetic_data.cpp" "src/dl/CMakeFiles/teco_dl.dir/synthetic_data.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/synthetic_data.cpp.o.d"
+  "/root/repo/src/dl/tensor.cpp" "src/dl/CMakeFiles/teco_dl.dir/tensor.cpp.o" "gcc" "src/dl/CMakeFiles/teco_dl.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dba/CMakeFiles/teco_dba.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_dl.dir/adam.cpp.o"
+  "CMakeFiles/teco_dl.dir/adam.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/attention.cpp.o"
+  "CMakeFiles/teco_dl.dir/attention.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/byte_stats.cpp.o"
+  "CMakeFiles/teco_dl.dir/byte_stats.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/dba_training.cpp.o"
+  "CMakeFiles/teco_dl.dir/dba_training.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/fp16.cpp.o"
+  "CMakeFiles/teco_dl.dir/fp16.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/gnn.cpp.o"
+  "CMakeFiles/teco_dl.dir/gnn.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/mlp.cpp.o"
+  "CMakeFiles/teco_dl.dir/mlp.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/model_zoo.cpp.o"
+  "CMakeFiles/teco_dl.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/synthetic_data.cpp.o"
+  "CMakeFiles/teco_dl.dir/synthetic_data.cpp.o.d"
+  "CMakeFiles/teco_dl.dir/tensor.cpp.o"
+  "CMakeFiles/teco_dl.dir/tensor.cpp.o.d"
+  "libteco_dl.a"
+  "libteco_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

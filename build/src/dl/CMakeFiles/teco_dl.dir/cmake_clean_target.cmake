@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libteco_dl.a"
+)

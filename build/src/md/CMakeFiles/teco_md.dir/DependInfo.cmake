@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/lj_system.cpp" "src/md/CMakeFiles/teco_md.dir/lj_system.cpp.o" "gcc" "src/md/CMakeFiles/teco_md.dir/lj_system.cpp.o.d"
+  "/root/repo/src/md/offload_md.cpp" "src/md/CMakeFiles/teco_md.dir/offload_md.cpp.o" "gcc" "src/md/CMakeFiles/teco_md.dir/offload_md.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/teco_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/teco_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/teco_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/dba/CMakeFiles/teco_dba.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/teco_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_md.dir/lj_system.cpp.o"
+  "CMakeFiles/teco_md.dir/lj_system.cpp.o.d"
+  "CMakeFiles/teco_md.dir/offload_md.cpp.o"
+  "CMakeFiles/teco_md.dir/offload_md.cpp.o.d"
+  "libteco_md.a"
+  "libteco_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_mem.dir/cache.cpp.o"
+  "CMakeFiles/teco_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/teco_mem.dir/dram.cpp.o"
+  "CMakeFiles/teco_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/teco_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/teco_mem.dir/hierarchy.cpp.o.d"
+  "libteco_mem.a"
+  "libteco_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

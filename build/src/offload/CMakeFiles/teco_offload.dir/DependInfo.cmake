@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offload/calibration.cpp" "src/offload/CMakeFiles/teco_offload.dir/calibration.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/calibration.cpp.o.d"
+  "/root/repo/src/offload/experiments.cpp" "src/offload/CMakeFiles/teco_offload.dir/experiments.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/experiments.cpp.o.d"
+  "/root/repo/src/offload/multi_device.cpp" "src/offload/CMakeFiles/teco_offload.dir/multi_device.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/multi_device.cpp.o.d"
+  "/root/repo/src/offload/pipeline_sim.cpp" "src/offload/CMakeFiles/teco_offload.dir/pipeline_sim.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/offload/runtime.cpp" "src/offload/CMakeFiles/teco_offload.dir/runtime.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/runtime.cpp.o.d"
+  "/root/repo/src/offload/step_model.cpp" "src/offload/CMakeFiles/teco_offload.dir/step_model.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/step_model.cpp.o.d"
+  "/root/repo/src/offload/trace_replay.cpp" "src/offload/CMakeFiles/teco_offload.dir/trace_replay.cpp.o" "gcc" "src/offload/CMakeFiles/teco_offload.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/teco_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/teco_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/dba/CMakeFiles/teco_dba.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/teco_dl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_offload.dir/calibration.cpp.o"
+  "CMakeFiles/teco_offload.dir/calibration.cpp.o.d"
+  "CMakeFiles/teco_offload.dir/experiments.cpp.o"
+  "CMakeFiles/teco_offload.dir/experiments.cpp.o.d"
+  "CMakeFiles/teco_offload.dir/multi_device.cpp.o"
+  "CMakeFiles/teco_offload.dir/multi_device.cpp.o.d"
+  "CMakeFiles/teco_offload.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/teco_offload.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/teco_offload.dir/runtime.cpp.o"
+  "CMakeFiles/teco_offload.dir/runtime.cpp.o.d"
+  "CMakeFiles/teco_offload.dir/step_model.cpp.o"
+  "CMakeFiles/teco_offload.dir/step_model.cpp.o.d"
+  "CMakeFiles/teco_offload.dir/trace_replay.cpp.o"
+  "CMakeFiles/teco_offload.dir/trace_replay.cpp.o.d"
+  "libteco_offload.a"
+  "libteco_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

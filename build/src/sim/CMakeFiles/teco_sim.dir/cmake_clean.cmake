@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teco_sim.dir/bayesopt.cpp.o"
+  "CMakeFiles/teco_sim.dir/bayesopt.cpp.o.d"
+  "CMakeFiles/teco_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/teco_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/teco_sim.dir/stats.cpp.o"
+  "CMakeFiles/teco_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/teco_sim.dir/trace.cpp.o"
+  "CMakeFiles/teco_sim.dir/trace.cpp.o.d"
+  "libteco_sim.a"
+  "libteco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesopt_test.dir/bayesopt_test.cpp.o"
+  "CMakeFiles/bayesopt_test.dir/bayesopt_test.cpp.o.d"
+  "bayesopt_test"
+  "bayesopt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress_test.cpp" "tests/CMakeFiles/compress_test.dir/compress_test.cpp.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/teco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/teco_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/teco_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/teco_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/teco_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/teco_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/teco_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dba/CMakeFiles/teco_dba.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/teco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/teco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_test.dir/dba_test.cpp.o"
+  "CMakeFiles/dba_test.dir/dba_test.cpp.o.d"
+  "dba_test"
+  "dba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

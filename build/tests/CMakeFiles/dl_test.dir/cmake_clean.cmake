@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_test.dir/dl_test.cpp.o"
+  "CMakeFiles/dl_test.dir/dl_test.cpp.o.d"
+  "dl_test"
+  "dl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

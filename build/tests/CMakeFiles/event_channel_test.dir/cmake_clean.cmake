@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_channel_test.dir/event_channel_test.cpp.o"
+  "CMakeFiles/event_channel_test.dir/event_channel_test.cpp.o.d"
+  "event_channel_test"
+  "event_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_test.dir/flit_test.cpp.o"
+  "CMakeFiles/flit_test.dir/flit_test.cpp.o.d"
+  "flit_test"
+  "flit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

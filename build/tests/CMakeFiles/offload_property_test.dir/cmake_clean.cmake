@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_property_test.dir/offload_property_test.cpp.o"
+  "CMakeFiles/offload_property_test.dir/offload_property_test.cpp.o.d"
+  "offload_property_test"
+  "offload_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
