@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the TECO sources using the repo's .clang-tidy.
+#
+# Usage:
+#   scripts/lint.sh                 # lint every .cpp under src/
+#   scripts/lint.sh file.cpp ...    # lint the given files (CI: changed files)
+#
+# Requires a compile database; one is generated into build/ if missing.
+# Degrades gracefully (exit 0 with a notice) when clang-tidy is not
+# installed, so the script is safe to call from hooks on minimal machines.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found; skipping lint (install LLVM to enable)"
+  exit 0
+fi
+
+build_dir="${TECO_BUILD_DIR:-build}"
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint.sh: generating compile database in ${build_dir}/"
+  cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=()
+  for f in "$@"; do
+    [[ "${f}" == *.cpp ]] && files+=("${f}")
+  done
+else
+  mapfile -t files < <(find src -name '*.cpp' | sort)
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "lint.sh: no .cpp files to lint"
+  exit 0
+fi
+
+echo "lint.sh: linting ${#files[@]} file(s)"
+clang-tidy -p "${build_dir}" --quiet "${files[@]}"

@@ -1,0 +1,106 @@
+// Lightweight observation hooks for the coherence invariant checker.
+//
+// Every component of the simulated CXL coherent domain (the CPU cache, the
+// giant cache, the snoop filter, the link, the DBA units and the home agent
+// itself) carries an optional `check::Observer*`. When null — the default —
+// the hooks cost one pointer test on paths that already do real work; when a
+// ProtocolChecker is attached it sees every state transition, data movement
+// and fence in the domain and can enforce the paper's invariants (SWMR,
+// transition legality, DBA merge conservation, fence completeness).
+//
+// The interface lives below the coherence layer on purpose: teco_mem,
+// teco_cxl and teco_dba include this header without linking anything new,
+// while the checker implementation (src/check/protocol_checker.*) sits on
+// top of teco_coherence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/address.hpp"
+#include "sim/time.hpp"
+
+namespace teco::check {
+
+/// Which peer cache of the coherent domain an event concerns.
+enum class Domain : std::uint8_t {
+  kCpuCache,    ///< The CPU LLC model (mem::Cache).
+  kGiantCache,  ///< The accelerator-side giant cache directory.
+};
+
+/// The semantic home-agent operation a notification happened under.
+/// External state pokes (tests, tools mutating the directory directly)
+/// carry no operation scope and are judged without context.
+enum class Op : std::uint8_t {
+  kNone,
+  kCpuWrite,
+  kCpuRead,
+  kDeviceWrite,
+  kDeviceRead,
+  kFlushAll,
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  // --- Home-agent operation scope -----------------------------------------
+  /// A coherent access on `line` starts/ends. State changes reported in
+  /// between belong to this operation; whole-line invariants (SWMR, snoop
+  /// consistency, data values) are evaluated at on_op_end, once the
+  /// operation's transition sequence has quiesced.
+  virtual void on_op_begin(sim::Time /*now*/, Op /*op*/, mem::Addr /*line*/) {}
+  virtual void on_op_end(sim::Time /*now*/, Op /*op*/, mem::Addr /*line*/) {}
+
+  // --- Directory / cache state --------------------------------------------
+  /// A giant-cache region was mapped into the coherent domain.
+  virtual void on_region_mapped(mem::Addr /*base*/, std::uint64_t /*bytes*/,
+                                std::uint8_t /*initial_state*/,
+                                bool /*dba_eligible*/) {}
+
+  /// MESI state change in either peer cache. States are the raw bytes the
+  /// caches store (MesiState values on coherent lines).
+  virtual void on_state_change(Domain /*dom*/, mem::Addr /*line*/,
+                               std::uint8_t /*from*/, std::uint8_t /*to*/) {}
+
+  /// A line left the CPU cache without a home-agent state call (LRU
+  /// eviction or invalidate); `state` is the state byte it held.
+  virtual void on_cache_drop(mem::Addr /*line*/, std::uint8_t /*state*/,
+                             bool /*dirty*/) {}
+
+  /// The snoop filter's sharer bitmask for `line` changed.
+  virtual void on_sharer_change(mem::Addr /*line*/, std::uint8_t /*before*/,
+                                std::uint8_t /*after*/) {}
+
+  // --- Link traffic --------------------------------------------------------
+  /// `count` packets of `msg_type` entered link direction `dir` at `now`;
+  /// the closed-form channel model already knows the last one lands at
+  /// `delivered`. `dir` and `msg_type` are the raw enum bytes of
+  /// cxl::Direction / cxl::MessageType.
+  virtual void on_packet(sim::Time /*now*/, std::uint8_t /*dir*/,
+                         std::uint8_t /*msg_type*/, mem::Addr /*addr*/,
+                         std::uint64_t /*count*/, sim::Time /*delivered*/) {}
+
+  /// CXLFENCE observed on one direction: the link reports `drain` as the
+  /// full-drain time at `now`.
+  virtual void on_fence(std::uint8_t /*dir*/, sim::Time /*now*/,
+                        sim::Time /*drain*/) {}
+
+  // --- DBA data path --------------------------------------------------------
+  /// The Aggregator packed a 64-byte source line into `payload` under the
+  /// DBA register `reg_bits` (encoded form).
+  virtual void on_dba_pack(const std::uint8_t* /*src*/,
+                           const std::uint8_t* /*payload*/,
+                           std::size_t /*payload_len*/,
+                           std::uint8_t /*reg_bits*/) {}
+
+  /// The Disaggregator merged `payload` into `old_line`, producing the
+  /// 64-byte `merged` line.
+  virtual void on_dba_merge(const std::uint8_t* /*old_line*/,
+                            const std::uint8_t* /*payload*/,
+                            std::size_t /*payload_len*/,
+                            const std::uint8_t* /*merged*/,
+                            std::uint8_t /*reg_bits*/) {}
+};
+
+}  // namespace teco::check

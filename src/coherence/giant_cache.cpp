@@ -24,6 +24,11 @@ GiantCacheRegion& GiantCache::map_region(std::string name, mem::Addr base,
   regions_.push_back(GiantCacheRegion{
       std::move(name), r, dba_eligible,
       std::vector<MesiState>(r.lines(), initial_state)});
+  if (observer_ != nullptr) {
+    observer_->on_region_mapped(base, bytes,
+                                static_cast<std::uint8_t>(initial_state),
+                                dba_eligible);
+  }
   return regions_.back();
 }
 
@@ -54,7 +59,15 @@ void GiantCache::set_state(mem::Addr addr, MesiState s) {
   if (r == nullptr) {
     throw std::out_of_range("address not mapped to the giant cache");
   }
-  r->line_states[line_slot(*r, addr)] = s;
+  MesiState& slot = r->line_states[line_slot(*r, addr)];
+  const MesiState old = slot;
+  slot = s;
+  if (observer_ != nullptr) {
+    observer_->on_state_change(check::Domain::kGiantCache,
+                               mem::line_base(addr),
+                               static_cast<std::uint8_t>(old),
+                               static_cast<std::uint8_t>(s));
+  }
 }
 
 std::uint64_t GiantCache::count_state(MesiState s) const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/observer.hpp"
 #include "coherence/mesi.hpp"
 #include "mem/address.hpp"
 
@@ -59,6 +60,9 @@ class GiantCache {
   /// Count of lines currently in `s` across all regions (test helper).
   std::uint64_t count_state(MesiState s) const;
 
+  /// Attach/detach the coherence invariant checker (nullptr to detach).
+  void set_observer(check::Observer* obs) { observer_ = obs; }
+
  private:
   std::uint64_t line_slot(const GiantCacheRegion& r, mem::Addr addr) const {
     return (mem::line_base(addr) - r.region.base) / mem::kLineBytes;
@@ -67,6 +71,7 @@ class GiantCache {
   std::uint64_t capacity_;
   std::uint64_t mapped_ = 0;
   std::vector<GiantCacheRegion> regions_;
+  check::Observer* observer_ = nullptr;
 };
 
 }  // namespace teco::coherence

@@ -37,12 +37,28 @@ MesiState HomeAgent::cpu_state(mem::Addr line) const {
 
 void HomeAgent::set_cpu_state(mem::Addr line, MesiState s, bool dirty) {
   auto* meta = cpu_cache_.lookup(line);
+  const MesiState old =
+      meta == nullptr ? MesiState::kInvalid : from_byte(meta->state);
   if (meta == nullptr) {
     cpu_cache_.insert(line, to_byte(s), dirty);
   } else {
     meta->state = to_byte(s);
     meta->dirty = dirty;
   }
+  if (observer_ != nullptr) {
+    observer_->on_state_change(check::Domain::kCpuCache, mem::line_base(line),
+                               to_byte(old), to_byte(s));
+  }
+}
+
+void HomeAgent::set_observer(check::Observer* obs) {
+  observer_ = obs;
+  gc_.set_observer(obs);
+  cpu_cache_.set_observer(obs);
+  link_.set_observer(obs);
+  snoop_.set_observer(obs);
+  aggregator_.set_observer(obs);
+  disaggregator_.set_observer(obs);
 }
 
 cxl::Delivery HomeAgent::push_line_to_device(sim::Time now, mem::Addr line,
@@ -97,11 +113,22 @@ std::optional<cxl::Delivery> HomeAgent::cpu_write_line(sim::Time now,
   const mem::Addr line = mem::line_base(addr);
   auto* region = gc_.find(line);
   if (region == nullptr) return std::nullopt;  // Ordinary memory.
+  if (observer_ != nullptr) {
+    observer_->on_op_begin(now, check::Op::kCpuWrite, line);
+  }
+  auto result = cpu_write_line_impl(now, line, *region);
+  if (observer_ != nullptr) {
+    observer_->on_op_end(now, check::Op::kCpuWrite, line);
+  }
+  return result;
+}
 
+std::optional<cxl::Delivery> HomeAgent::cpu_write_line_impl(
+    sim::Time now, mem::Addr line, GiantCacheRegion& region) {
   // Producer/consumer violation: the device holds this line dirty while
   // the CPU writes it. The update protocol's no-snoop-filter argument no
   // longer holds for this region — fall back (Section IV-A2).
-  if (protocol_ == Protocol::kUpdate && !region->forced_invalidation &&
+  if (protocol_ == Protocol::kUpdate && !region.forced_invalidation &&
       gc_.state(line) == MesiState::kModified) {
     demote_region(now, line);
   }
@@ -120,7 +147,7 @@ std::optional<cxl::Delivery> HomeAgent::cpu_write_line(sim::Time now,
     trace(now, "GO_Flush", line, "Cs:M->S Gs:S");
     set_cpu_state(line, MesiState::kShared, false);
     ++stats_.update_pushes;
-    auto delivery = push_line_to_device(now, line, *region);
+    auto delivery = push_line_to_device(now, line, region);
     gc_.set_state(line, MesiState::kShared);
     return delivery;
   }
@@ -143,9 +170,19 @@ std::optional<cxl::Delivery> HomeAgent::cpu_write_line(sim::Time now,
 
 HomeAgent::Access HomeAgent::cpu_read_line(sim::Time now, mem::Addr addr) {
   const mem::Addr line = mem::line_base(addr);
-  const auto* region = gc_.find(line);
-  if (region == nullptr) return Access{now, false};
+  if (!gc_.contains_line(line)) return Access{now, false};
+  if (observer_ != nullptr) {
+    observer_->on_op_begin(now, check::Op::kCpuRead, line);
+  }
+  const Access result = cpu_read_line_impl(now, line);
+  if (observer_ != nullptr) {
+    observer_->on_op_end(now, check::Op::kCpuRead, line);
+  }
+  return result;
+}
 
+HomeAgent::Access HomeAgent::cpu_read_line_impl(sim::Time now,
+                                                mem::Addr line) {
   if (effective_protocol(line) == Protocol::kUpdate ||
       gc_.state(line) != MesiState::kModified) {
     // Data is home (update pushes landed, or device copy not dirty).
@@ -171,6 +208,17 @@ HomeAgent::Access HomeAgent::cpu_read_line(sim::Time now, mem::Addr addr) {
 }
 
 std::uint64_t HomeAgent::cpu_flush_all(sim::Time now) {
+  if (observer_ != nullptr) {
+    observer_->on_op_begin(now, check::Op::kFlushAll, 0);
+  }
+  const std::uint64_t n = cpu_flush_all_impl(now);
+  if (observer_ != nullptr) {
+    observer_->on_op_end(now, check::Op::kFlushAll, 0);
+  }
+  return n;
+}
+
+std::uint64_t HomeAgent::cpu_flush_all_impl(sim::Time now) {
   std::uint64_t n = 0;
   // Collect giant-domain lines resident in the CPU cache, then transition.
   std::vector<mem::Addr> to_drop;
@@ -182,6 +230,10 @@ std::uint64_t HomeAgent::cpu_flush_all(sim::Time now) {
   });
   for (const mem::Addr line : to_drop) {
     cpu_cache_.invalidate(line, /*writeback_on_invalidate=*/false);
+    // A demoted region tracks its S-lines in the snoop filter; dropping the
+    // CPU copy must retire the directory entry too, or a later consistency
+    // sweep sees a phantom sharer.
+    snoop_.remove_sharer(line, Sharer::kCpu);
     if (gc_.state(line) == MesiState::kShared) {
       gc_.set_state(line, MesiState::kExclusive);
     }
@@ -194,9 +246,19 @@ std::uint64_t HomeAgent::cpu_flush_all(sim::Time now) {
 
 HomeAgent::Access HomeAgent::device_read_line(sim::Time now, mem::Addr addr) {
   const mem::Addr line = mem::line_base(addr);
-  const auto* region = gc_.find(line);
-  if (region == nullptr) return Access{now, false};
+  if (!gc_.contains_line(line)) return Access{now, false};
+  if (observer_ != nullptr) {
+    observer_->on_op_begin(now, check::Op::kDeviceRead, line);
+  }
+  const Access result = device_read_line_impl(now, line);
+  if (observer_ != nullptr) {
+    observer_->on_op_end(now, check::Op::kDeviceRead, line);
+  }
+  return result;
+}
 
+HomeAgent::Access HomeAgent::device_read_line_impl(sim::Time now,
+                                                   mem::Addr line) {
   if (gc_.state(line) != MesiState::kInvalid) {
     ++stats_.local_device_reads;
     return Access{now, false};
@@ -227,10 +289,21 @@ std::optional<cxl::Delivery> HomeAgent::device_write_line(sim::Time now,
   const mem::Addr line = mem::line_base(addr);
   auto* region = gc_.find(line);
   if (region == nullptr) return std::nullopt;
+  if (observer_ != nullptr) {
+    observer_->on_op_begin(now, check::Op::kDeviceWrite, line);
+  }
+  auto result = device_write_line_impl(now, line, *region);
+  if (observer_ != nullptr) {
+    observer_->on_op_end(now, check::Op::kDeviceWrite, line);
+  }
+  return result;
+}
 
+std::optional<cxl::Delivery> HomeAgent::device_write_line_impl(
+    sim::Time now, mem::Addr line, GiantCacheRegion& region) {
   // Symmetric producer/consumer violation: the CPU holds this line dirty
   // while the device writes it.
-  if (protocol_ == Protocol::kUpdate && !region->forced_invalidation &&
+  if (protocol_ == Protocol::kUpdate && !region.forced_invalidation &&
       cpu_state(line) == MesiState::kModified) {
     demote_region(now, line);
   }

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "check/observer.hpp"
 #include "coherence/giant_cache.hpp"
 #include "coherence/mesi.hpp"
 #include "coherence/snoop_filter.hpp"
@@ -113,12 +114,33 @@ class HomeAgent {
   const SnoopFilter& snoop_filter() const { return snoop_; }
   const dba::Aggregator& aggregator() const { return aggregator_; }
   const dba::Disaggregator& disaggregator() const { return disaggregator_; }
+  const GiantCache& giant_cache() const { return gc_; }
+  const mem::Cache& cpu_cache() const { return cpu_cache_; }
+  const cxl::Link& link() const { return link_; }
   Protocol protocol() const { return protocol_; }
+
+  /// Attach/detach the coherence invariant checker. Wires the observer into
+  /// every component of the domain (giant cache, CPU cache, snoop filter,
+  /// link, DBA units) in one call; nullptr detaches everywhere.
+  void set_observer(check::Observer* obs);
 
  private:
   /// CPU-line state as the coherence layer sees it (I if not resident).
   MesiState cpu_state(mem::Addr line) const;
   void set_cpu_state(mem::Addr line, MesiState s, bool dirty);
+
+  // Operation bodies; the public entry points wrap them in the observer's
+  // op scope so whole-line invariants are judged once the transition
+  // sequence has quiesced.
+  std::optional<cxl::Delivery> cpu_write_line_impl(sim::Time now,
+                                                   mem::Addr line,
+                                                   GiantCacheRegion& region);
+  Access cpu_read_line_impl(sim::Time now, mem::Addr line);
+  Access device_read_line_impl(sim::Time now, mem::Addr line);
+  std::optional<cxl::Delivery> device_write_line_impl(sim::Time now,
+                                                      mem::Addr line,
+                                                      GiantCacheRegion& region);
+  std::uint64_t cpu_flush_all_impl(sim::Time now);
 
   cxl::Delivery push_line_to_device(sim::Time now, mem::Addr line,
                                     const GiantCacheRegion& region);
@@ -134,6 +156,7 @@ class HomeAgent {
   mem::BackingStore* cpu_mem_;
   mem::BackingStore* device_mem_;
   sim::Trace* trace_;
+  check::Observer* observer_ = nullptr;
   SnoopFilter snoop_;
   dba::Aggregator aggregator_;
   dba::Disaggregator disaggregator_;

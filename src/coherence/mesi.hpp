@@ -25,7 +25,9 @@ inline constexpr std::string_view to_string(MesiState s) {
     case MesiState::kExclusive: return "E";
     case MesiState::kModified: return "M";
   }
-  return "?";
+  // The switch covers every enumerator; a value outside the enum is UB at
+  // the cast site, not here.
+  __builtin_unreachable();
 }
 
 enum class Protocol : std::uint8_t {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "check/observer.hpp"
 #include "mem/address.hpp"
 
 namespace teco::coherence {
@@ -23,16 +24,26 @@ enum class Sharer : std::uint8_t {
 class SnoopFilter {
  public:
   void add_sharer(mem::Addr line, Sharer who) {
-    entries_[mem::line_index(line)] |= static_cast<std::uint8_t>(who);
+    std::uint8_t& mask = entries_[mem::line_index(line)];
+    const std::uint8_t before = mask;
+    mask |= static_cast<std::uint8_t>(who);
     peak_entries_ = entries_.size() > peak_entries_ ? entries_.size()
                                                     : peak_entries_;
+    if (observer_ != nullptr) {
+      observer_->on_sharer_change(mem::line_base(line), before, mask);
+    }
   }
 
   void remove_sharer(mem::Addr line, Sharer who) {
     const auto it = entries_.find(mem::line_index(line));
     if (it == entries_.end()) return;
+    const std::uint8_t before = it->second;
     it->second &= static_cast<std::uint8_t>(~static_cast<std::uint8_t>(who));
+    const std::uint8_t after = it->second;
     if (it->second == 0) entries_.erase(it);
+    if (observer_ != nullptr) {
+      observer_->on_sharer_change(mem::line_base(line), before, after);
+    }
   }
 
   bool is_sharer(mem::Addr line, Sharer who) const {
@@ -50,9 +61,13 @@ class SnoopFilter {
 
   void clear() { entries_.clear(); }
 
+  /// Attach/detach the coherence invariant checker (nullptr to detach).
+  void set_observer(check::Observer* obs) { observer_ = obs; }
+
  private:
   std::unordered_map<std::uint64_t, std::uint8_t> entries_;
   std::size_t peak_entries_ = 0;
+  check::Observer* observer_ = nullptr;
 };
 
 }  // namespace teco::coherence

@@ -106,6 +106,16 @@ ParsedConfig parse_config(std::string_view text) {
       if (!parse_onoff(value, &out.session.enable_trace)) {
         fail("trace must be on/off");
       }
+    } else if (key == "check") {
+      if (value == "off") {
+        out.session.check = check::CheckLevel::kOff;
+      } else if (value == "count") {
+        out.session.check = check::CheckLevel::kCount;
+      } else if (value == "strict") {
+        out.session.check = check::CheckLevel::kStrict;
+      } else {
+        fail("check must be off/count/strict");
+      }
     } else {
       out.unknown_keys.push_back(key);
     }
@@ -136,6 +146,7 @@ std::string to_config_text(const SessionConfig& cfg) {
   os << "dirty_bytes = " << static_cast<unsigned>(cfg.dirty_bytes) << "\n";
   os << "giant_cache_mib = " << (cfg.giant_cache_capacity >> 20) << "\n";
   os << "trace = " << (cfg.enable_trace ? "on" : "off") << "\n";
+  os << "check = " << check::to_string(cfg.check) << "\n";
   return os.str();
 }
 

@@ -24,6 +24,13 @@ Session::Session(SessionConfig cfg)
   opts.trace = cfg_.enable_trace ? &trace_ : nullptr;
   agent_ = std::make_unique<coherence::HomeAgent>(*link_, *gc_, *cpu_cache_,
                                                   opts);
+  if (cfg_.check != check::CheckLevel::kOff) {
+    check::ProtocolChecker::Options copts;
+    copts.level = cfg_.check;
+    copts.cpu_mem = &cpu_mem_;
+    copts.device_mem = &device_mem_;
+    checker_ = std::make_unique<check::ProtocolChecker>(*agent_, copts);
+  }
 }
 
 mem::Addr Session::allocate_parameters(const std::string& name,

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "check/protocol_checker.hpp"
 #include "coherence/giant_cache.hpp"
 #include "coherence/home_agent.hpp"
 #include "cxl/link.hpp"
@@ -42,6 +43,11 @@ struct SessionConfig {
   std::uint64_t giant_cache_capacity = 4ull << 30;
   cxl::PhyConfig phy{};
   bool enable_trace = false;
+  /// Coherence invariant checking posture. Strict (throw on violation) by
+  /// default: the simulated protocol is supposed to be violation-free, so
+  /// any firing is a bug in the model, not the workload. Benchmarks that
+  /// cannot afford the byte comparisons can drop to kCount or kOff.
+  check::CheckLevel check = check::CheckLevel::kStrict;
 };
 
 class Session {
@@ -93,6 +99,8 @@ class Session {
   const coherence::GiantCache& giant_cache() const { return *gc_; }
   const sim::Trace& trace() const { return trace_; }
   const SessionConfig& config() const { return cfg_; }
+  /// The attached invariant checker, or nullptr when check == kOff.
+  const check::ProtocolChecker* checker() const { return checker_.get(); }
 
  private:
   SessionConfig cfg_;
@@ -103,6 +111,8 @@ class Session {
   mem::BackingStore cpu_mem_;
   mem::BackingStore device_mem_;
   std::unique_ptr<coherence::HomeAgent> agent_;
+  /// Declared after agent_ so destruction detaches before the agent dies.
+  std::unique_ptr<check::ProtocolChecker> checker_;
   mem::Addr next_alloc_ = 0x1000'0000;  ///< Bump allocator, line-aligned.
   sim::Time now_ = 0.0;
   bool dba_active_ = false;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "check/observer.hpp"
 #include "cxl/channel.hpp"
 #include "cxl/packet.hpp"
 #include "cxl/phy.hpp"
@@ -33,20 +34,28 @@ class Link {
 
   Delivery send(Direction dir, sim::Time t_ready, const Packet& pkt) {
     count(pkt, 1);
-    return channel(dir).submit(t_ready, pkt);
+    const Delivery d = channel(dir).submit(t_ready, pkt);
+    notify(dir, t_ready, pkt, 1, d);
+    return d;
   }
 
   Delivery send_stream(Direction dir, sim::Time t_ready, const Packet& pkt,
                        std::uint64_t n) {
     count(pkt, n);
-    return channel(dir).submit_stream(t_ready, pkt, n);
+    const Delivery d = channel(dir).submit_stream(t_ready, pkt, n);
+    notify(dir, t_ready, pkt, n, d);
+    return d;
   }
 
   /// CXLFENCE(): completion time of all in-flight traffic in `dir`,
   /// observed at `now`.
   sim::Time fence(Direction dir, sim::Time now) const {
     const sim::Time drain = channel(dir).drain_time();
-    return drain > now ? drain : now;
+    const sim::Time t = drain > now ? drain : now;
+    if (observer_ != nullptr) {
+      observer_->on_fence(static_cast<std::uint8_t>(dir), now, t);
+    }
+    return t;
   }
 
   /// Fence both directions.
@@ -75,14 +84,29 @@ class Link {
     message_counts_.reset();
   }
 
+  /// Attach/detach the coherence invariant checker (nullptr to detach).
+  /// Attach before traffic starts (or re-baseline): the checker's flit
+  /// conservation compares its observed injections against channel stats.
+  void set_observer(check::Observer* obs) { observer_ = obs; }
+
  private:
   void count(const Packet& pkt, std::uint64_t n) {
     message_counts_.add(std::string(to_string(pkt.type)), n);
   }
 
+  void notify(Direction dir, sim::Time t_ready, const Packet& pkt,
+              std::uint64_t n, const Delivery& d) {
+    if (observer_ != nullptr) {
+      observer_->on_packet(t_ready, static_cast<std::uint8_t>(dir),
+                           static_cast<std::uint8_t>(pkt.type), pkt.addr, n,
+                           d.delivered);
+    }
+  }
+
   PhyConfig phy_;
   Channel down_;
   Channel up_;
+  check::Observer* observer_ = nullptr;
   sim::CounterSet message_counts_;
 };
 

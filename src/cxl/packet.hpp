@@ -68,7 +68,7 @@ inline std::string_view to_string(MessageType t) {
     case MessageType::kData: return "Data";
     case MessageType::kDbaConfig: return "DbaConfig";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 }  // namespace teco::cxl

@@ -6,7 +6,12 @@ std::vector<std::uint8_t> Aggregator::pack(
     const mem::BackingStore::Line& line) const {
   ++lines_processed_;
   if (!reg_.trims()) {
-    return std::vector<std::uint8_t>(line.begin(), line.end());
+    std::vector<std::uint8_t> full(line.begin(), line.end());
+    if (observer_ != nullptr) {
+      observer_->on_dba_pack(line.data(), full.data(), full.size(),
+                             reg_.encode());
+    }
+    return full;
   }
   const std::uint8_t n = reg_.dirty_bytes();
   std::vector<std::uint8_t> payload;
@@ -17,6 +22,10 @@ std::vector<std::uint8_t> Aggregator::pack(
     for (std::uint8_t b = 0; b < n; ++b) {
       payload.push_back(line[w * 4 + b]);
     }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_dba_pack(line.data(), payload.data(), payload.size(),
+                           reg_.encode());
   }
   return payload;
 }

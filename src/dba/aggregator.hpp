@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/observer.hpp"
 #include "dba/dba_register.hpp"
 #include "mem/backing_store.hpp"
 #include "sim/time.hpp"
@@ -50,8 +51,12 @@ class Aggregator {
 
   std::uint64_t lines_processed() const { return lines_processed_; }
 
+  /// Attach/detach the coherence invariant checker (nullptr to detach).
+  void set_observer(check::Observer* obs) { observer_ = obs; }
+
  private:
   DbaRegister reg_;
+  check::Observer* observer_ = nullptr;
   mutable std::uint64_t lines_processed_ = 0;
 };
 

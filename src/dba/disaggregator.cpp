@@ -17,6 +17,10 @@ mem::BackingStore::Line Disaggregator::merge(
     }
     mem::BackingStore::Line out;
     std::memcpy(out.data(), payload.data(), mem::kLineBytes);
+    if (observer_ != nullptr) {
+      observer_->on_dba_merge(old_line.data(), payload.data(), payload.size(),
+                              out.data(), reg_.encode());
+    }
     return out;
   }
   const std::uint8_t n = reg_.dirty_bytes();
@@ -29,6 +33,10 @@ mem::BackingStore::Line Disaggregator::merge(
     for (std::uint8_t b = 0; b < n; ++b) {
       out[w * 4 + b] = payload[w * n + b];
     }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_dba_merge(old_line.data(), payload.data(), payload.size(),
+                            out.data(), reg_.encode());
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 
+#include "check/observer.hpp"
 #include "dba/dba_register.hpp"
 #include "mem/backing_store.hpp"
 
@@ -32,8 +33,12 @@ class Disaggregator {
   /// Extra giant-cache reads performed for merges (VIII-D amplification).
   std::uint64_t extra_reads() const { return extra_reads_; }
 
+  /// Attach/detach the coherence invariant checker (nullptr to detach).
+  void set_observer(check::Observer* obs) { observer_ = obs; }
+
  private:
   DbaRegister reg_;
+  check::Observer* observer_ = nullptr;
   mutable std::uint64_t lines_processed_ = 0;
   mutable std::uint64_t extra_reads_ = 0;
 };

@@ -75,6 +75,9 @@ CacheLineMeta& Cache::insert(Addr addr, std::uint8_t state, bool dirty) {
     ++stats_.writebacks;
     if (writeback_) writeback_(victim->base, victim->state);
   }
+  if (observer_ != nullptr) {
+    observer_->on_cache_drop(victim->base, victim->state, victim->dirty);
+  }
   *victim = CacheLineMeta{base, true, dirty, state, ++tick_};
   return *victim;
 }
@@ -86,6 +89,9 @@ bool Cache::invalidate(Addr addr, bool writeback_on_invalidate) {
       if (line.dirty && writeback_on_invalidate) {
         ++stats_.writebacks;
         if (writeback_) writeback_(line.base, line.state);
+      }
+      if (observer_ != nullptr) {
+        observer_->on_cache_drop(line.base, line.state, line.dirty);
       }
       line.valid = false;
       line.dirty = false;

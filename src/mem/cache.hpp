@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/observer.hpp"
 #include "mem/address.hpp"
 
 namespace teco::mem {
@@ -75,6 +76,12 @@ class Cache {
 
   void set_writeback_fn(WritebackFn fn) { writeback_ = std::move(fn); }
 
+  /// Attach/detach the coherence invariant checker (nullptr to detach).
+  /// The checker sees lines that leave the cache without a home-agent
+  /// state call (LRU evictions, invalidates); reset() is exempt, being a
+  /// whole-cache test helper rather than a protocol action.
+  void set_observer(check::Observer* obs) { observer_ = obs; }
+
   bool contains(Addr addr) const { return peek(addr) != nullptr; }
   const CacheStats& stats() const { return stats_; }
   const CacheConfig& config() const { return cfg_; }
@@ -90,6 +97,7 @@ class Cache {
   CacheConfig cfg_;
   std::vector<std::vector<CacheLineMeta>> sets_;
   WritebackFn writeback_;
+  check::Observer* observer_ = nullptr;
   CacheStats stats_;
   std::uint64_t tick_ = 0;
 };

@@ -215,7 +215,7 @@ std::string_view to_string(RuntimeKind k) {
     case RuntimeKind::kTecoCxl: return "TECO-CXL";
     case RuntimeKind::kTecoReduction: return "TECO-Reduction";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 StepBreakdown simulate_step(RuntimeKind kind, const dl::ModelConfig& model,

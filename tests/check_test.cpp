@@ -1,0 +1,395 @@
+// ProtocolChecker tests: the full MESI transition matrix through the
+// checker, negative tests proving each invariant actually fires, and
+// positive end-to-end flows that must stay silent.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "check/protocol_checker.hpp"
+#include "coherence/giant_cache.hpp"
+#include "coherence/home_agent.hpp"
+#include "coherence/mesi.hpp"
+#include "core/config.hpp"
+#include "core/session.hpp"
+#include "cxl/link.hpp"
+#include "dba/dba_register.hpp"
+#include "dba/disaggregator.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+
+namespace teco::check {
+namespace {
+
+using coherence::GiantCache;
+using coherence::HomeAgent;
+using coherence::MesiState;
+using coherence::Protocol;
+using mem::Addr;
+
+constexpr Addr kParamBase = 0x1000;
+constexpr std::uint64_t kParamBytes = 64 * 16;
+constexpr Addr kGradBase = 0x10000;
+constexpr std::uint64_t kGradBytes = 64 * 8;
+
+constexpr std::array<MesiState, 4> kAllStates = {
+    MesiState::kInvalid, MesiState::kShared, MesiState::kExclusive,
+    MesiState::kModified};
+
+/// Domain without a checker; tests attach one at the moment they choose,
+/// so pre-attach setup can reach arbitrary states without being judged.
+struct Domain {
+  explicit Domain(Protocol proto, dba::DbaRegister dba = {})
+      : gc(1ull << 20), cpu_cache(mem::llc_config()) {
+    HomeAgent::Options opts;
+    opts.protocol = proto;
+    opts.dba = dba;
+    opts.cpu_mem = &cpu_mem;
+    opts.device_mem = &device_mem;
+    gc.map_region("params", kParamBase, kParamBytes, MesiState::kExclusive,
+                  /*dba_eligible=*/true);
+    gc.map_region("grads", kGradBase, kGradBytes, MesiState::kExclusive,
+                  /*dba_eligible=*/false);
+    agent = std::make_unique<HomeAgent>(link, gc, cpu_cache, opts);
+  }
+
+  std::unique_ptr<ProtocolChecker> attach(
+      CheckLevel level = CheckLevel::kStrict) {
+    ProtocolChecker::Options copts;
+    copts.level = level;
+    copts.cpu_mem = &cpu_mem;
+    copts.device_mem = &device_mem;
+    return std::make_unique<ProtocolChecker>(*agent, copts);
+  }
+
+  cxl::Link link;
+  GiantCache gc;
+  mem::Cache cpu_cache;
+  mem::BackingStore cpu_mem, device_mem;
+  std::unique_ptr<HomeAgent> agent;
+};
+
+ViolationKind kind_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ProtocolViolation& v) {
+    return v.kind();
+  }
+  ADD_FAILURE() << "expected a ProtocolViolation";
+  return ViolationKind::kSwmr;
+}
+
+// --- Invariant (b): the full transition matrix -----------------------------
+
+TEST(TransitionMatrix, ExternalPokesMatchLegalTransition) {
+  // 16 from->to pairs x both protocols, judged by the checker on an
+  // external (no-op-scope) giant-cache poke. The checker must accept
+  // exactly legal_transition: in particular M->S passes under kUpdate
+  // (Fig. 4's red arrow) and fires under kInvalidation.
+  for (const Protocol proto : {Protocol::kUpdate, Protocol::kInvalidation}) {
+    for (const MesiState from : kAllStates) {
+      for (const MesiState to : kAllStates) {
+        Domain d(proto);
+        d.gc.set_state(kParamBase, from);  // Pre-attach: not judged.
+        auto checker = d.attach();
+        const bool legal = coherence::legal_transition(proto, from, to);
+        if (legal) {
+          EXPECT_NO_THROW(d.gc.set_state(kParamBase, to))
+              << to_string(from) << "->" << to_string(to)
+              << (proto == Protocol::kUpdate ? " update" : " invalidation");
+          EXPECT_EQ(checker->stats().total_violations(), 0u);
+        } else {
+          EXPECT_THROW(d.gc.set_state(kParamBase, to), ProtocolViolation)
+              << to_string(from) << "->" << to_string(to)
+              << (proto == Protocol::kUpdate ? " update" : " invalidation");
+          EXPECT_EQ(checker->stats().illegal_transitions, 1u);
+        }
+        EXPECT_GE(checker->stats().transitions_checked, 1u);
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrix, MToSPushFiresUnderInvalidationOnly) {
+  // The negative the issue demands: an M->S *push* (outside any demand
+  // read) is the update-protocol extension and must be rejected under
+  // stock MESI.
+  Domain d(Protocol::kInvalidation);
+  d.agent->device_write_line(0.0, kGradBase);  // Gs: E->M, legally.
+  auto checker = d.attach();
+  const ViolationKind k =
+      kind_of([&] { d.gc.set_state(kGradBase, MesiState::kShared); });
+  EXPECT_EQ(k, ViolationKind::kIllegalTransition);
+  // Same push under the update protocol is the whole point of the paper.
+  Domain u(Protocol::kUpdate);
+  u.agent->device_write_line(0.0, kGradBase);
+  auto uchecker = u.attach();
+  EXPECT_NO_THROW(u.gc.set_state(kGradBase, MesiState::kShared));
+}
+
+TEST(TransitionMatrix, MToSInsideDemandReadIsAccepted) {
+  // Stock MESI's snoop-read downgrade: the dirty line is written back as
+  // the kData response of a demand fetch. The checker must not confuse
+  // this with the update-protocol push.
+  Domain d(Protocol::kInvalidation);
+  auto checker = d.attach();
+  d.cpu_mem.write_f32(kParamBase, 7.5f);
+  d.agent->cpu_write_line(0.0, kParamBase);  // Cs=M, Gs=I.
+  EXPECT_NO_THROW(d.agent->device_read_line(0.0, kParamBase));
+  EXPECT_EQ(checker->stats().total_violations(), 0u);
+}
+
+// --- Invariant (a): SWMR + snoop consistency -------------------------------
+
+TEST(Swmr, SecondOwnerInjectionIsDetected) {
+  Domain d(Protocol::kInvalidation);
+  auto checker = d.attach();
+  d.agent->cpu_write_line(0.0, kParamBase);  // Cs=M, Gs=I.
+  // Inject a second owner: I->E is a legal transition on its own, so only
+  // the SWMR sweep can catch it.
+  const ViolationKind k =
+      kind_of([&] { d.gc.set_state(kParamBase, MesiState::kExclusive); });
+  EXPECT_EQ(k, ViolationKind::kSwmr);
+  EXPECT_EQ(checker->stats().swmr_violations, 1u);
+}
+
+TEST(Swmr, FlushAllRetiresSnoopEntries) {
+  // Regression: cpu_flush_all must retire the CPU's snoop-filter entries
+  // along with the dropped S-lines, or the checker sees a phantom sharer.
+  Domain d(Protocol::kInvalidation);
+  auto checker = d.attach();
+  d.cpu_mem.write_f32(kParamBase, 1.0f);
+  d.agent->cpu_write_line(0.0, kParamBase);       // Cs=M, snoop: {cpu}.
+  d.agent->device_read_line(0.0, kParamBase);     // Cs=S, Gs=S.
+  EXPECT_NO_THROW(d.agent->cpu_flush_all(1.0));   // Cs=I; entry must go.
+  EXPECT_FALSE(
+      d.agent->snoop_filter().is_sharer(kParamBase, coherence::Sharer::kCpu));
+  EXPECT_NO_THROW(checker->verify_quiescent());
+  EXPECT_EQ(checker->stats().total_violations(), 0u);
+}
+
+// --- Invariant (c): data values / DBA merge --------------------------------
+
+TEST(DataValue, CorruptedDeviceBytesAreDetectedOnRead) {
+  Domain d(Protocol::kUpdate, dba::DbaRegister(true, 2));
+  auto checker = d.attach();
+  d.cpu_mem.write_f32(kParamBase, 2.0f);
+  d.agent->cpu_write_line(0.0, kParamBase);  // Push + DBA merge.
+  // Corrupt a stale high byte behind the protocol's back.
+  auto line = d.device_mem.read_line(kParamBase);
+  line[3] ^= 0xFF;
+  d.device_mem.write_line(kParamBase, line);
+  const ViolationKind k =
+      kind_of([&] { d.agent->device_read_line(1.0, kParamBase); });
+  EXPECT_EQ(k, ViolationKind::kDataValue);
+}
+
+TEST(DbaMerge, CorruptedMergeOutputIsDetected) {
+  Domain d(Protocol::kUpdate);
+  auto checker = d.attach();
+  const dba::DbaRegister reg(true, 2);
+  mem::BackingStore::Line old_line{};
+  old_line.fill(0xAA);
+  std::vector<std::uint8_t> payload(dba::payload_bytes(2), 0x55);
+  // A faithful merge keeps high bytes from old_line and takes low bytes
+  // from the payload; corrupt one high byte of the result.
+  dba::Disaggregator dis(reg);
+  auto merged = dis.merge(old_line, payload);
+  merged[2] ^= 0x01;
+  const ViolationKind k = kind_of([&] {
+    checker->on_dba_merge(old_line.data(), payload.data(), payload.size(),
+                          merged.data(), reg.encode());
+  });
+  EXPECT_EQ(k, ViolationKind::kDbaMerge);
+  EXPECT_EQ(checker->stats().dba_merge_violations, 1u);
+}
+
+TEST(DbaMerge, WrongAggregatorBytesAreDetected) {
+  Domain d(Protocol::kUpdate);
+  auto checker = d.attach();
+  const dba::DbaRegister reg(true, 2);
+  mem::BackingStore::Line src{};
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i);
+  }
+  // A payload that concatenated the wrong (high) bytes.
+  std::vector<std::uint8_t> payload;
+  for (std::size_t w = 0; w < mem::kWordsPerLine; ++w) {
+    payload.push_back(src[w * 4 + 2]);
+    payload.push_back(src[w * 4 + 3]);
+  }
+  const ViolationKind k = kind_of([&] {
+    checker->on_dba_pack(src.data(), payload.data(), payload.size(),
+                         reg.encode());
+  });
+  EXPECT_EQ(k, ViolationKind::kDbaMerge);
+}
+
+// --- Invariant (d): fence completeness + flit conservation -----------------
+
+TEST(Fence, IncompleteDrainIsDetected) {
+  Domain d(Protocol::kUpdate);
+  auto checker = d.attach();
+  const auto delivery = d.agent->cpu_write_line(0.0, kParamBase);
+  ASSERT_TRUE(delivery.has_value());
+  ASSERT_GT(delivery->delivered, 0.0);
+  // A fence claiming drain before that delivery left a flit in flight.
+  const ViolationKind k = kind_of([&] { checker->on_fence(0, 0.0, 0.0); });
+  EXPECT_EQ(k, ViolationKind::kFence);
+}
+
+TEST(Fence, PhantomFlitBreaksConservation) {
+  Domain d(Protocol::kUpdate);
+  auto checker = d.attach();
+  // One flit the observer saw but the channel never accounted.
+  checker->on_packet(0.0, 0, 0, kParamBase, 1, 0.0);
+  const ViolationKind k = kind_of([&] { d.agent->cxl_fence(0.0); });
+  EXPECT_EQ(k, ViolationKind::kFlitConservation);
+}
+
+TEST(Fence, CleanTrafficPassesBothChecks) {
+  Domain d(Protocol::kUpdate);
+  auto checker = d.attach();
+  d.agent->cpu_write_line(0.0, kParamBase);
+  d.agent->device_write_line(0.0, kGradBase);
+  EXPECT_NO_THROW(d.agent->cxl_fence(0.0));
+  EXPECT_EQ(checker->stats().total_violations(), 0u);
+}
+
+// --- Check levels ----------------------------------------------------------
+
+TEST(CheckLevels, CountModeRecordsWithoutThrowing) {
+  Domain d(Protocol::kInvalidation);
+  d.agent->device_write_line(0.0, kGradBase);  // Gs=M.
+  auto checker = d.attach(CheckLevel::kCount);
+  EXPECT_NO_THROW(d.gc.set_state(kGradBase, MesiState::kShared));
+  EXPECT_EQ(checker->stats().illegal_transitions, 1u);
+  EXPECT_EQ(checker->stats().total_violations(), 1u);
+  ASSERT_EQ(checker->violations().size(), 1u);
+  EXPECT_NE(checker->violations()[0].find("illegal-transition"),
+            std::string::npos);
+  // Diagnostics carry the line's transition history.
+  EXPECT_NE(checker->line_history(kGradBase).find("M->S"), std::string::npos);
+}
+
+TEST(CheckLevels, DetachStopsJudging) {
+  Domain d(Protocol::kInvalidation);
+  d.agent->device_write_line(0.0, kGradBase);
+  {
+    auto checker = d.attach();
+    EXPECT_THROW(d.gc.set_state(kGradBase, MesiState::kShared),
+                 ProtocolViolation);
+  }
+  // Checker destroyed: the same poke goes unjudged.
+  EXPECT_NO_THROW(d.gc.set_state(kGradBase, MesiState::kModified));
+}
+
+TEST(CheckLevels, Names) {
+  EXPECT_EQ(to_string(CheckLevel::kOff), "off");
+  EXPECT_EQ(to_string(CheckLevel::kCount), "count");
+  EXPECT_EQ(to_string(CheckLevel::kStrict), "strict");
+  EXPECT_EQ(to_string(ViolationKind::kSwmr), "swmr");
+  EXPECT_EQ(to_string(ViolationKind::kFlitConservation), "flit-conservation");
+}
+
+// --- Positive end-to-end flows ---------------------------------------------
+
+TEST(EndToEnd, UpdateProtocolTrainingLoopIsViolationFree) {
+  Domain d(Protocol::kUpdate);
+  auto checker = d.attach();
+  for (int step = 0; step < 4; ++step) {
+    if (step == 2) d.agent->set_dba(0.0, dba::DbaRegister(true, 2));
+    for (int l = 0; l < 8; ++l) {
+      d.device_mem.write_f32(kGradBase + l * 64, 0.25f * step);
+      d.agent->device_write_line(0.0, kGradBase + l * 64);
+    }
+    d.agent->cxl_fence(0.0);
+    for (int l = 0; l < 8; ++l) {
+      d.cpu_mem.write_f32(kParamBase + l * 64, 1.0f + step);
+      d.agent->cpu_write_line(0.0, kParamBase + l * 64);
+      d.agent->device_read_line(0.0, kParamBase + l * 64);
+    }
+    d.agent->cxl_fence(0.0);
+    d.agent->cpu_flush_all(0.0);
+  }
+  checker->verify_quiescent();
+  EXPECT_EQ(checker->stats().total_violations(), 0u);
+  EXPECT_GT(checker->stats().transitions_checked, 0u);
+  EXPECT_GT(checker->stats().ops_checked, 0u);
+  EXPECT_GT(checker->stats().lines_tracked, 0u);
+}
+
+TEST(EndToEnd, InvalidationProtocolLoopIsViolationFree) {
+  Domain d(Protocol::kInvalidation);
+  auto checker = d.attach();
+  for (int step = 0; step < 3; ++step) {
+    d.device_mem.write_f32(kGradBase, -1.0f * step);
+    d.agent->device_write_line(0.0, kGradBase);
+    d.agent->cpu_read_line(0.0, kGradBase);   // Demand fetch, M->S in-op.
+    d.cpu_mem.write_f32(kParamBase, 2.0f * step);
+    d.agent->cpu_write_line(0.0, kParamBase);
+    d.agent->device_read_line(0.0, kParamBase);
+    d.agent->cxl_fence(0.0);
+    d.agent->cpu_flush_all(0.0);
+  }
+  checker->verify_quiescent();
+  EXPECT_EQ(checker->stats().total_violations(), 0u);
+}
+
+// --- Session / config integration ------------------------------------------
+
+TEST(SessionCheck, StrictCheckerAttachedByDefault) {
+  core::Session session;
+  ASSERT_NE(session.checker(), nullptr);
+  EXPECT_EQ(session.checker()->level(), CheckLevel::kStrict);
+  const auto params = session.allocate_parameters("p", 64 * 8);
+  const auto grads = session.allocate_gradients("g", 64 * 8);
+  std::vector<float> values(16, 0.5f);
+  session.device_write_gradients(grads, values);
+  session.backward_complete();
+  session.check_activation(0);
+  session.cpu_write_parameters(params, values);
+  session.optimizer_step_complete();
+  EXPECT_EQ(session.device_read_parameters(params, 16),
+            std::vector<float>(16, 0.5f));
+  EXPECT_EQ(session.checker()->stats().total_violations(), 0u);
+  EXPECT_GT(session.checker()->stats().ops_checked, 0u);
+}
+
+TEST(SessionCheck, DbaActiveSessionStaysViolationFree) {
+  core::SessionConfig cfg;
+  cfg.act_aft_steps = 0;  // DBA active from the first step.
+  core::Session session(cfg);
+  const auto params = session.allocate_parameters("p", 64 * 4);
+  std::vector<float> values(16, 1.0f);
+  session.cpu_write_parameters(params, values);  // Full-precision baseline.
+  session.optimizer_step_complete();
+  session.check_activation(0);
+  for (auto& v : values) v = 1.5f;
+  session.cpu_write_parameters(params, values);  // Trimmed push.
+  session.optimizer_step_complete();
+  session.device_read_parameters(params, 16);
+  EXPECT_EQ(session.checker()->stats().total_violations(), 0u);
+}
+
+TEST(SessionCheck, OffLevelSkipsAttachment) {
+  core::SessionConfig cfg;
+  cfg.check = CheckLevel::kOff;
+  core::Session session(cfg);
+  EXPECT_EQ(session.checker(), nullptr);
+}
+
+TEST(ConfigCheck, ParseAndRoundTrip) {
+  const auto parsed = core::parse_config("check = count\n");
+  EXPECT_TRUE(parsed.errors.empty());
+  EXPECT_EQ(parsed.session.check, CheckLevel::kCount);
+  EXPECT_NE(core::to_config_text(parsed.session).find("check = count"),
+            std::string::npos);
+  const auto bad = core::parse_config("check = loud\n");
+  EXPECT_FALSE(bad.errors.empty());
+}
+
+}  // namespace
+}  // namespace teco::check

@@ -3,6 +3,7 @@
 
 #include <cstring>
 
+#include "check/protocol_checker.hpp"
 #include "coherence/giant_cache.hpp"
 #include "coherence/home_agent.hpp"
 #include "coherence/mesi.hpp"
@@ -35,6 +36,12 @@ struct Harness {
     gc.map_region("grads", kGradBase, kGradBytes, MesiState::kExclusive,
                   /*dba_eligible=*/false);
     agent = std::make_unique<HomeAgent>(link, gc, cpu_cache, opts);
+    // Every protocol test runs under the strict invariant checker: any
+    // SWMR/transition/data/fence violation throws and fails the test.
+    check::ProtocolChecker::Options copts;
+    copts.cpu_mem = &cpu_mem;
+    copts.device_mem = &device_mem;
+    checker = std::make_unique<check::ProtocolChecker>(*agent, copts);
   }
 
   cxl::Link link;
@@ -43,6 +50,7 @@ struct Harness {
   mem::BackingStore cpu_mem, device_mem;
   sim::Trace trace;
   std::unique_ptr<HomeAgent> agent;
+  std::unique_ptr<check::ProtocolChecker> checker;  ///< After agent.
 };
 
 TEST(MesiTransitions, UpdateExtensionOnlyAddsMToS) {
