@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "dl/dba_training.hpp"
 
@@ -12,20 +13,22 @@ namespace {
 void print_curves(const char* name, const teco::dl::Task& task,
                   std::uint64_t model_seed) {
   using namespace teco::dl;
+  const bool smoke = std::getenv("TECO_SMOKE") != nullptr;
   TrainRunConfig cfg;
   // Transformer-shaped proxies, as the paper's Fig. 10 models are.
   cfg.transformer = default_transformer_for(task, model_seed);
-  cfg.steps = 1200;
+  cfg.steps = smoke ? 240 : 1200;
   cfg.batch_size = 32;
-  cfg.record_every = 60;
+  cfg.record_every = smoke ? 30 : 60;
   // From-scratch proxies for the paper's fine-tuning runs: weight decay
   // stabilizes norms and DBA activates after the plateau (see Table V).
   cfg.adam.weight_decay = 1e-2f;
   const auto orig = run_training(task, cfg);
   auto dba_cfg = cfg;
   dba_cfg.dba_enabled = true;
-  dba_cfg.act_aft_steps = 800;
+  dba_cfg.act_aft_steps = smoke ? 160 : 800;
   const auto dba = run_training(task, dba_cfg);
+  const std::size_t tail_after = smoke ? 180 : 600;
 
   std::printf("Fig. 10 (%s proxy): training loss\n", name);
   std::printf("%8s %12s %16s %10s\n", "step", "original", "teco-reduction",
@@ -34,7 +37,7 @@ void print_curves(const char* name, const teco::dl::Task& task,
   for (std::size_t i = 0; i < orig.recorded_steps.size(); ++i) {
     const double d = std::abs(static_cast<double>(orig.loss_curve[i]) -
                               dba.loss_curve[i]);
-    if (orig.recorded_steps[i] > 600) {
+    if (orig.recorded_steps[i] > tail_after) {
       max_tail_delta = std::max(max_tail_delta, d);
     }
     std::printf("%8zu %12.5f %16.5f %10.5f\n", orig.recorded_steps[i],

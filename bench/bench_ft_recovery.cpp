@@ -1,0 +1,151 @@
+// Fault-tolerance recovery overhead: checkpoint interval vs MTBF.
+//
+// Two views of the same tradeoff:
+//   1. Analytic (Young's approximation, offload::expected_ft_overhead) for
+//      a real model's checkpoint image written to the persistent CXL
+//      device — the table a deployment would size its interval from.
+//   2. Executable: the teco::ft trainer runs with MTBF-sampled device
+//      crashes, and the measured overhead (checkpoint exposure + lost work
+//      + restore) is printed next to the step-model prediction, which it
+//      must track.
+// A final run shows one crash-and-recover timeline as a Gantt chart.
+//
+// TECO_SMOKE=1 shrinks the sweeps for CI smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dl/model_zoo.hpp"
+#include "ft/trainer.hpp"
+#include "offload/runtime.hpp"
+#include "offload/step_model.hpp"
+
+int main() {
+  using namespace teco;
+  const bool smoke = std::getenv("TECO_SMOKE") != nullptr;
+  const auto& cal = offload::default_calibration();
+
+  {
+    const auto model = dl::bert_large_cased();
+    const auto step =
+        offload::simulate_step(offload::RuntimeKind::kTecoReduction, model, 4,
+                               cal);
+    const auto costs = offload::checkpoint_costs(model, cal);
+
+    core::TextTable t(
+        "FT overhead, analytic (Bert-large, full snapshot to pmem-CXL)");
+    t.set_header({"ckpt interval", "ckpt/step", "MTBF 1h", "MTBF 6h",
+                  "MTBF 24h"});
+    const std::vector<std::size_t> intervals =
+        smoke ? std::vector<std::size_t>{10, 100}
+              : std::vector<std::size_t>{10, 25, 50, 100, 250, 1000};
+    for (const std::size_t iv : intervals) {
+      std::vector<std::string> row{std::to_string(iv)};
+      const auto first = offload::expected_ft_overhead(
+          step.total(), iv, costs.full_write, costs.restore, 3600.0);
+      row.push_back(core::TextTable::ms(first.ckpt_per_step, 3));
+      for (const double mtbf : {3600.0, 6 * 3600.0, 24 * 3600.0}) {
+        const auto o = offload::expected_ft_overhead(
+            step.total(), iv, costs.full_write, costs.restore, mtbf);
+        row.push_back(core::TextTable::pct(o.overhead_fraction, 2));
+      }
+      t.add_row(row);
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("-> Short intervals pay checkpoint exposure every step; long "
+              "ones pay half an interval of lost work per failure.\n");
+  }
+
+  {
+    ft::FtTrainConfig base;
+    base.steps = smoke ? 24 : 96;
+    base.n_params = 4096;
+    base.session.act_aft_steps = 4;
+    base.step_compute = sim::us(50.0);
+    base.cpu_opt_time = sim::us(5.0);
+    base.session.check = check::CheckLevel::kCount;  // Bench posture.
+
+    ft::FtTrainConfig clean_cfg = base;
+    clean_cfg.session.ft_mode = core::FtMode::kOff;
+    const auto clean = ft::run_ft_training(clean_cfg);
+    const sim::Time step_time =
+        clean.wall_time / static_cast<double>(clean.steps_completed);
+
+    core::TextTable t("FT overhead, executable (synthetic trainer, "
+                      "MTBF-sampled crashes)");
+    t.set_header({"mode", "interval", "ckpts", "crashes", "ckpt exposed/step",
+                  "lost work", "restore", "measured ovh", "model ovh"});
+    const std::vector<std::size_t> intervals =
+        smoke ? std::vector<std::size_t>{8} : std::vector<std::size_t>{4, 8,
+                                                                       16, 32};
+    for (const auto mode :
+         {core::FtMode::kFull, core::FtMode::kIncremental}) {
+      for (const std::size_t iv : intervals) {
+        ft::FtTrainConfig cfg = base;
+        cfg.session.ft_mode = mode;
+        cfg.session.ft_checkpoint_interval = iv;
+        cfg.faults.seed = 23;
+        cfg.faults.mtbf = clean.wall_time / 2.0;
+        cfg.faults.mtbf_horizon = clean.wall_time;
+        const auto r = ft::run_ft_training(cfg);
+
+        const double steps = static_cast<double>(r.steps_completed);
+        const double measured =
+            (r.wall_time - clean.wall_time) / clean.wall_time;
+        // The model's view of the same run: per-step checkpoint exposure
+        // and the realized failure rate over this horizon.
+        const double ckpt_step = r.checkpoint.exposed_time / steps;
+        const double mtbf_realized =
+            r.recovery.recoveries > 0
+                ? r.wall_time / static_cast<double>(r.recovery.recoveries)
+                : 0.0;
+        const auto model_o = offload::expected_ft_overhead(
+            step_time, iv, ckpt_step * static_cast<double>(iv),
+            r.recovery.recoveries > 0
+                ? r.recovery.restore_time /
+                      static_cast<double>(r.recovery.recoveries)
+                : 0.0,
+            mtbf_realized);
+        t.add_row({std::string(core::to_string(mode)), std::to_string(iv),
+                   std::to_string(r.checkpoint.checkpoints),
+                   std::to_string(r.recovery.recoveries),
+                   core::TextTable::ms(ckpt_step, 4),
+                   core::TextTable::ms(r.recovery.lost_work, 3),
+                   core::TextTable::ms(r.recovery.restore_time, 3),
+                   core::TextTable::pct(measured, 1),
+                   core::TextTable::pct(model_o.overhead_fraction, 1)});
+      }
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("-> Incremental checkpoints hide media writes behind compute; "
+              "measured overhead tracks the step-model accounting (the gap "
+              "is discretization: crashes land on step boundaries).\n");
+  }
+
+  {
+    ft::FtTrainConfig cfg;
+    cfg.steps = 24;
+    cfg.n_params = 2048;
+    cfg.session.ft_mode = core::FtMode::kIncremental;
+    cfg.session.ft_checkpoint_interval = 6;
+    cfg.session.act_aft_steps = 4;
+    cfg.step_compute = sim::us(50.0);
+    cfg.cpu_opt_time = sim::us(5.0);
+    cfg.faults.crash_steps = {14};
+    const auto r = ft::run_ft_training(cfg);
+    std::puts("Crash at step 14, restore from the step-11 checkpoint, "
+              "replay 12-14:");
+    std::fputs(r.gantt.c_str(), stdout);
+    std::printf("\nrecoveries=%llu replayed=%llu lost=%.3fms restore=%.3fms "
+                "ckpt lines=%llu (skipped clean: %llu)\n",
+                static_cast<unsigned long long>(r.recovery.recoveries),
+                static_cast<unsigned long long>(r.recovery.steps_replayed),
+                r.recovery.lost_work * 1e3, r.recovery.restore_time * 1e3,
+                static_cast<unsigned long long>(r.checkpoint.lines_written),
+                static_cast<unsigned long long>(
+                    r.checkpoint.lines_skipped_clean));
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 // test is that DBA leaves the metric within a small delta of exact
 // training.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/report.hpp"
 #include "dl/dba_training.hpp"
@@ -15,6 +16,7 @@
 
 int main() {
   using namespace teco;
+  const bool smoke = std::getenv("TECO_SMOKE") != nullptr;
 
   struct Row {
     const char* paper_model;
@@ -44,7 +46,7 @@ int main() {
     } else {
       cfg.model = dl::default_model_for(r.task, 42 + r.seed);
     }
-    cfg.steps = 1500;
+    cfg.steps = smoke ? 200 : 1500;
     cfg.batch_size = 32;
     cfg.record_every = 0;
     // The paper fine-tunes PRE-TRAINED models, whose weight norms are
@@ -56,7 +58,7 @@ int main() {
     const auto orig = dl::run_training(r.task, cfg);
     auto dba_cfg = cfg;
     dba_cfg.dba_enabled = true;
-    dba_cfg.act_aft_steps = 1000;
+    dba_cfg.act_aft_steps = smoke ? 130 : 1000;
     const auto dba = dl::run_training(r.task, dba_cfg);
     t.add_row({r.paper_model, r.metric,
                core::TextTable::fmt(orig.final_metric, 4),
@@ -67,8 +69,8 @@ int main() {
   // GCNII: real full-graph training on the Wisconsin-scale synthetic
   // graph; the paper reports no TECO-Reduction number (no DBA for GCNII).
   const float gcnii_acc =
-      dl::train_gcnii_accuracy(dl::GraphConfig{}, dl::GcniiConfig{}, 200,
-                               5e-3f);
+      dl::train_gcnii_accuracy(dl::GraphConfig{}, dl::GcniiConfig{},
+                               smoke ? 30 : 200, 5e-3f);
   t.add_row({"GCNII", "Accuracy",
              core::TextTable::fmt(gcnii_acc, 4) + " (paper: 0.549)",
              "N/A (no DBA)", "-"});

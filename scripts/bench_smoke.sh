@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke-run every bench binary: each must exit 0 and produce output.
+#
+# TECO_SMOKE=1 asks the heavier benches (loss curves, accuracy tables,
+# activation sweeps, bench_ft_recovery) to shrink their step counts; the
+# google-benchmark binary is capped with --benchmark_min_time instead.
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bench_dir="${build_dir}/bench"
+
+if [ ! -d "${bench_dir}" ]; then
+  echo "error: ${bench_dir} not found (build the project first)" >&2
+  exit 1
+fi
+
+export TECO_SMOKE=1
+failures=0
+ran=0
+
+for b in "${bench_dir}"/bench_*; do
+  [ -x "${b}" ] || continue
+  name="$(basename "${b}")"
+  args=()
+  if [ "${name}" = "bench_micro_link" ]; then
+    args=(--benchmark_min_time=0.01)
+  fi
+  start=$(date +%s%N)
+  if out="$("${b}" "${args[@]}" 2>&1)"; then
+    if [ -z "${out}" ]; then
+      echo "FAIL ${name}: produced no output"
+      failures=$((failures + 1))
+    else
+      end=$(date +%s%N)
+      printf 'ok   %-34s %6d ms\n' "${name}" $(((end - start) / 1000000))
+    fi
+  else
+    echo "FAIL ${name}: exit $?"
+    printf '%s\n' "${out}" | tail -20
+    failures=$((failures + 1))
+  fi
+  ran=$((ran + 1))
+done
+
+if [ "${ran}" -eq 0 ]; then
+  echo "error: no bench binaries found in ${bench_dir}" >&2
+  exit 1
+fi
+echo "${ran} benches, ${failures} failures"
+exit "${failures}"

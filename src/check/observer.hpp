@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "mem/address.hpp"
 #include "sim/time.hpp"
@@ -101,6 +102,72 @@ class Observer {
                             std::size_t /*payload_len*/,
                             const std::uint8_t* /*merged*/,
                             std::uint8_t /*reg_bits*/) {}
+};
+
+/// Fan-out: forwards every hook to a list of observers, in attach order.
+/// The domain components carry a single Observer*; the mux lets the strict
+/// ProtocolChecker coexist with additional listeners (the ft fault injector
+/// and the checkpoint engine's dirty-line tracker).
+class ObserverMux final : public Observer {
+ public:
+  void add(Observer* obs) {
+    if (obs != nullptr) observers_.push_back(obs);
+  }
+  void remove(Observer* obs) {
+    std::erase(observers_, obs);
+  }
+  bool empty() const { return observers_.empty(); }
+
+  void on_op_begin(sim::Time now, Op op, mem::Addr line) override {
+    for (auto* o : observers_) o->on_op_begin(now, op, line);
+  }
+  void on_op_end(sim::Time now, Op op, mem::Addr line) override {
+    for (auto* o : observers_) o->on_op_end(now, op, line);
+  }
+  void on_region_mapped(mem::Addr base, std::uint64_t bytes,
+                        std::uint8_t initial_state,
+                        bool dba_eligible) override {
+    for (auto* o : observers_) {
+      o->on_region_mapped(base, bytes, initial_state, dba_eligible);
+    }
+  }
+  void on_state_change(Domain dom, mem::Addr line, std::uint8_t from,
+                       std::uint8_t to) override {
+    for (auto* o : observers_) o->on_state_change(dom, line, from, to);
+  }
+  void on_cache_drop(mem::Addr line, std::uint8_t state, bool dirty) override {
+    for (auto* o : observers_) o->on_cache_drop(line, state, dirty);
+  }
+  void on_sharer_change(mem::Addr line, std::uint8_t before,
+                        std::uint8_t after) override {
+    for (auto* o : observers_) o->on_sharer_change(line, before, after);
+  }
+  void on_packet(sim::Time now, std::uint8_t dir, std::uint8_t msg_type,
+                 mem::Addr addr, std::uint64_t count,
+                 sim::Time delivered) override {
+    for (auto* o : observers_) {
+      o->on_packet(now, dir, msg_type, addr, count, delivered);
+    }
+  }
+  void on_fence(std::uint8_t dir, sim::Time now, sim::Time drain) override {
+    for (auto* o : observers_) o->on_fence(dir, now, drain);
+  }
+  void on_dba_pack(const std::uint8_t* src, const std::uint8_t* payload,
+                   std::size_t payload_len, std::uint8_t reg_bits) override {
+    for (auto* o : observers_) {
+      o->on_dba_pack(src, payload, payload_len, reg_bits);
+    }
+  }
+  void on_dba_merge(const std::uint8_t* old_line, const std::uint8_t* payload,
+                    std::size_t payload_len, const std::uint8_t* merged,
+                    std::uint8_t reg_bits) override {
+    for (auto* o : observers_) {
+      o->on_dba_merge(old_line, payload, payload_len, merged, reg_bits);
+    }
+  }
+
+ private:
+  std::vector<Observer*> observers_;
 };
 
 }  // namespace teco::check

@@ -116,6 +116,30 @@ ParsedConfig parse_config(std::string_view text) {
       } else {
         fail("check must be off/count/strict");
       }
+    } else if (key == "ft_mode") {
+      if (value == "off") {
+        out.session.ft_mode = FtMode::kOff;
+      } else if (value == "full") {
+        out.session.ft_mode = FtMode::kFull;
+      } else if (value == "incremental") {
+        out.session.ft_mode = FtMode::kIncremental;
+      } else {
+        fail("ft_mode must be off/full/incremental");
+      }
+    } else if (key == "ft_checkpoint_interval") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v > 0) {
+        out.session.ft_checkpoint_interval = static_cast<std::size_t>(v);
+      } else {
+        fail("ft_checkpoint_interval must be a positive integer");
+      }
+    } else if (key == "ft_seed") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v)) {
+        out.session.ft_seed = v;
+      } else {
+        fail("ft_seed must be a non-negative integer");
+      }
     } else {
       out.unknown_keys.push_back(key);
     }
@@ -147,6 +171,9 @@ std::string to_config_text(const SessionConfig& cfg) {
   os << "giant_cache_mib = " << (cfg.giant_cache_capacity >> 20) << "\n";
   os << "trace = " << (cfg.enable_trace ? "on" : "off") << "\n";
   os << "check = " << check::to_string(cfg.check) << "\n";
+  os << "ft_mode = " << to_string(cfg.ft_mode) << "\n";
+  os << "ft_checkpoint_interval = " << cfg.ft_checkpoint_interval << "\n";
+  os << "ft_seed = " << cfg.ft_seed << "\n";
   return os.str();
 }
 

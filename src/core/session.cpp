@@ -11,11 +11,25 @@ std::uint64_t round_up_lines(std::uint64_t bytes) {
 }
 }  // namespace
 
+std::string_view to_string(FtMode m) {
+  switch (m) {
+    case FtMode::kOff: return "off";
+    case FtMode::kFull: return "full";
+    case FtMode::kIncremental: return "incremental";
+  }
+  __builtin_unreachable();
+}
+
 Session::Session(SessionConfig cfg)
     : cfg_(cfg), trace_(cfg.enable_trace),
       link_(std::make_unique<cxl::Link>(cfg.phy)),
       gc_(std::make_unique<coherence::GiantCache>(cfg.giant_cache_capacity)),
       cpu_cache_(std::make_unique<mem::Cache>(mem::llc_config())) {
+  if (cfg_.mc_bit_error_rate > 0.0) {
+    cxl::RetryModel retry;
+    retry.bit_error_rate = cfg_.mc_bit_error_rate;
+    link_->enable_retry(retry, cfg_.ft_seed);
+  }
   coherence::HomeAgent::Options opts;
   opts.protocol = cfg_.protocol;
   opts.dba = dba::DbaRegister(false, cfg_.dirty_bytes);
@@ -30,27 +44,48 @@ Session::Session(SessionConfig cfg)
     copts.cpu_mem = &cpu_mem_;
     copts.device_mem = &device_mem_;
     checker_ = std::make_unique<check::ProtocolChecker>(*agent_, copts);
+    observers_.add(checker_.get());
+    rewire_observers();
   }
+}
+
+mem::Addr Session::allocate_region(const std::string& name,
+                                   std::uint64_t bytes, bool dba_eligible) {
+  if (bytes == 0) {
+    throw std::invalid_argument("Session: zero-byte allocation for region '" +
+                                name + "'");
+  }
+  if (bytes > cfg_.addr_space_bytes - mem::kLineBytes) {
+    throw std::length_error("Session: allocation of region '" + name +
+                            "' exceeds the address space");
+  }
+  const std::uint64_t sz = round_up_lines(bytes);
+  if (!mem::line_aligned(next_alloc_)) {
+    // The bump pointer only ever advances by whole lines; a misaligned
+    // pointer means internal state corruption, not a bad request.
+    throw std::logic_error("Session: bump allocator lost line alignment");
+  }
+  if (next_alloc_ >= cfg_.addr_space_bytes ||
+      sz > cfg_.addr_space_bytes - next_alloc_) {
+    throw std::runtime_error(
+        "Session: address space exhausted allocating region '" + name + "' (" +
+        std::to_string(sz) + " bytes requested)");
+  }
+  const mem::Addr base = next_alloc_;
+  gc_->map_region(name, base, sz, coherence::MesiState::kExclusive,
+                  dba_eligible);
+  next_alloc_ += sz;
+  return base;
 }
 
 mem::Addr Session::allocate_parameters(const std::string& name,
                                        std::uint64_t bytes) {
-  const mem::Addr base = next_alloc_;
-  const std::uint64_t sz = round_up_lines(bytes);
-  gc_->map_region(name, base, sz, coherence::MesiState::kExclusive,
-                  /*dba_eligible=*/true);
-  next_alloc_ += sz;
-  return base;
+  return allocate_region(name, bytes, /*dba_eligible=*/true);
 }
 
 mem::Addr Session::allocate_gradients(const std::string& name,
                                       std::uint64_t bytes) {
-  const mem::Addr base = next_alloc_;
-  const std::uint64_t sz = round_up_lines(bytes);
-  gc_->map_region(name, base, sz, coherence::MesiState::kExclusive,
-                  /*dba_eligible=*/false);
-  next_alloc_ += sz;
-  return base;
+  return allocate_region(name, bytes, /*dba_eligible=*/false);
 }
 
 void Session::device_write_gradients(mem::Addr base,
@@ -111,6 +146,55 @@ std::vector<float> Session::device_read_parameters(mem::Addr base,
     out[i] = device_mem_.read_f32(base + i * 4);
   }
   return out;
+}
+
+sim::Time Session::advance(sim::Time dt) {
+  if (dt > 0.0) now_ += dt;
+  return now_;
+}
+
+void Session::rewire_observers() {
+  agent_->set_observer(observers_.empty() ? nullptr : &observers_);
+}
+
+void Session::add_observer(check::Observer* obs) {
+  observers_.add(obs);
+  rewire_observers();
+}
+
+void Session::remove_observer(check::Observer* obs) {
+  observers_.remove(obs);
+  rewire_observers();
+}
+
+void Session::set_link_fault_hook(cxl::LinkFaultHook* hook) {
+  link_->set_fault_hook(hook);
+}
+
+sim::Time Session::scrub_device_line(mem::Addr line) {
+  const bool dba_was = dba_active_;
+  if (dba_was) {
+    agent_->set_dba(now_, dba::DbaRegister(false, cfg_.dirty_bytes));
+  }
+  agent_->cpu_write_line(now_, line);
+  now_ = agent_->cxl_fence(now_);
+  if (dba_was) {
+    agent_->set_dba(now_, dba::DbaRegister(true, cfg_.dirty_bytes));
+  }
+  return now_;
+}
+
+void Session::seed_device_memory(mem::Addr base,
+                                 std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    device_mem_.write_f32(base + i * 4, values[i]);
+  }
+}
+
+void Session::seed_cpu_memory(mem::Addr base, std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cpu_mem_.write_f32(base + i * 4, values[i]);
+  }
 }
 
 std::vector<float> Session::cpu_read_gradients(mem::Addr base,

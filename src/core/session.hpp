@@ -23,6 +23,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "check/protocol_checker.hpp"
@@ -34,6 +35,17 @@
 #include "sim/trace.hpp"
 
 namespace teco::core {
+
+/// Fault-tolerance checkpointing mode. The machinery lives in teco::ft
+/// (src/ft/); the core config carries the knobs so the AI-model config
+/// parser can round-trip them (ft_mode / ft_checkpoint_interval / ft_seed).
+enum class FtMode : std::uint8_t {
+  kOff,          ///< No checkpointing; a crash loses the run.
+  kFull,         ///< Synchronous full-state snapshots every interval.
+  kIncremental,  ///< Dirty-line snapshots riding the update-protocol stream.
+};
+
+std::string_view to_string(FtMode m);
 
 struct SessionConfig {
   coherence::Protocol protocol = coherence::Protocol::kUpdate;
@@ -48,6 +60,22 @@ struct SessionConfig {
   /// any firing is a bug in the model, not the workload. Benchmarks that
   /// cannot afford the byte comparisons can drop to kCount or kOff.
   check::CheckLevel check = check::CheckLevel::kStrict;
+
+  // --- Fault tolerance (teco::ft) ---
+  FtMode ft_mode = FtMode::kOff;
+  /// Steps between durable checkpoints when ft_mode != kOff.
+  std::size_t ft_checkpoint_interval = 100;
+  /// Seed for the fault schedule and the Monte-Carlo retry path.
+  std::uint64_t ft_seed = 1;
+  /// When > 0, replace the analytic retry derate with the executable
+  /// Monte-Carlo path: flit CRC corruption is sampled in the channel at
+  /// this bit-error rate and corrupted flits are actually retransmitted.
+  double mc_bit_error_rate = 0.0;
+
+  /// End of the bump allocator's address space: a 48-bit physical window
+  /// by default, as a real host bridge would decode. Exhaustion throws
+  /// instead of silently wrapping into already-mapped regions.
+  std::uint64_t addr_space_bytes = 1ull << 48;
 };
 
 class Session {
@@ -91,6 +119,46 @@ class Session {
   /// CPU load of gradients; symmetric semantics.
   std::vector<float> cpu_read_gradients(mem::Addr base, std::size_t count);
 
+  // --- Fault tolerance / recovery hooks (teco::ft) ---
+
+  /// Advance the session clock by `dt` of non-link work (GPU compute, CPU
+  /// optimizer sweeps, checkpoint fences). The ft training harness uses it
+  /// so lost-work and restore times land in the same timeline as the
+  /// coherence traffic.
+  sim::Time advance(sim::Time dt);
+
+  /// Attach an additional observer to the coherent domain (fault injector,
+  /// checkpoint dirty-line tracker). The strict ProtocolChecker, when
+  /// enabled, stays attached alongside. Observers must outlive the session
+  /// or be removed first.
+  void add_observer(check::Observer* obs);
+  void remove_observer(check::Observer* obs);
+
+  /// Attach a link fault-injection hook (nullptr to detach).
+  void set_link_fault_hook(cxl::LinkFaultHook* hook);
+
+  /// Recovery primitives: seed backing-store contents of a mapped region
+  /// without generating protocol traffic (restoring a checkpoint image is
+  /// a local pmem read, not coherent communication). Alignment follows the
+  /// write_f32 layout used by the training hooks.
+  void seed_device_memory(mem::Addr base, std::span<const float> values);
+  void seed_cpu_memory(mem::Addr base, std::span<const float> values);
+
+  /// Repair a device-side line from the CPU master image with a full-line
+  /// coherent push. DBA is bypassed for the scrub — a trimmed payload
+  /// cannot fix corrupted high bytes — and restored afterwards, so the
+  /// repair stays visible to the protocol checker. Returns the fence time.
+  sim::Time scrub_device_line(mem::Addr line);
+
+  /// Direct line read of device memory (poison scrubbing / verification).
+  mem::BackingStore::Line read_device_line(mem::Addr line) const {
+    return device_mem_.read_line(line);
+  }
+  /// Overwrite one device-memory line (fault injection: poisoned lines).
+  void corrupt_device_line(mem::Addr line, const mem::BackingStore::Line& data) {
+    device_mem_.write_line(line, data);
+  }
+
   // --- Introspection ---
   sim::Time now() const { return now_; }
   bool dba_active() const { return dba_active_; }
@@ -103,6 +171,11 @@ class Session {
   const check::ProtocolChecker* checker() const { return checker_.get(); }
 
  private:
+  /// Shared bump-allocator body: validates the request, maps the region.
+  mem::Addr allocate_region(const std::string& name, std::uint64_t bytes,
+                            bool dba_eligible);
+  void rewire_observers();
+
   SessionConfig cfg_;
   sim::Trace trace_;
   std::unique_ptr<cxl::Link> link_;
@@ -113,6 +186,9 @@ class Session {
   std::unique_ptr<coherence::HomeAgent> agent_;
   /// Declared after agent_ so destruction detaches before the agent dies.
   std::unique_ptr<check::ProtocolChecker> checker_;
+  /// Fan-out for the checker plus any ft observers; wired as the domain's
+  /// observer whenever it is non-empty.
+  check::ObserverMux observers_;
   mem::Addr next_alloc_ = 0x1000'0000;  ///< Bump allocator, line-aligned.
   sim::Time now_ = 0.0;
   bool dba_active_ = false;

@@ -35,10 +35,48 @@ void Channel::record_finish(sim::Time finish) {
   stats_.last_delivery = std::max(stats_.last_delivery, finish + latency_);
 }
 
+void Channel::enable_retry(const RetryModel& model, std::uint64_t seed,
+                           const FlitConfig& flit) {
+  RetryState st{model, flit, model.flit_error_probability(flit),
+                sim::Rng(seed)};
+  retry_ = st;
+}
+
+sim::Time Channel::retry_penalty(std::uint64_t wire_bytes) {
+  if (!retry_.has_value() || wire_bytes == 0) return 0.0;
+  RetryState& st = *retry_;
+  const std::uint64_t payload = st.flit.flit_payload_bytes();
+  const std::uint64_t flits = (wire_bytes + payload - 1) / payload;
+  // Every transmission (original or retry) is corrupted independently with
+  // the flit error probability; a corrupted flit goes around again.
+  std::uint64_t extra = 0;
+  std::uint64_t pending = flits;
+  while (pending > 0) {
+    const std::uint64_t corrupted = st.rng.next_binomial(pending,
+                                                         st.flit_error_prob);
+    extra += corrupted;
+    pending = corrupted;
+  }
+  stats_.flits += flits;
+  if (extra == 0) return 0.0;
+  stats_.retried_flits += extra;
+  // A retransmission re-occupies the wire for one flit time; the NAK +
+  // replay handshake adds the configured round trip on top.
+  const sim::Time flit_time =
+      sim::transfer_time(static_cast<double>(wire_bytes) /
+                             static_cast<double>(flits),
+                         bandwidth_);
+  const sim::Time penalty = static_cast<double>(extra) *
+                            (flit_time + st.model.retry_round_trip);
+  stats_.retry_time += penalty;
+  return penalty;
+}
+
 Delivery Channel::submit(sim::Time t_ready, const Packet& pkt) {
   const sim::Time admission = queue_admission(t_ready);
   const sim::Time start = std::max(admission, wire_free_);
-  const sim::Time duration = sim::transfer_time(pkt.wire_bytes(), bandwidth_);
+  const sim::Time duration = sim::transfer_time(pkt.wire_bytes(), bandwidth_) +
+                             retry_penalty(pkt.wire_bytes());
   const sim::Time finish = start + duration;
   wire_free_ = finish;
   record_finish(finish);
@@ -54,11 +92,16 @@ Delivery Channel::submit_stream(sim::Time t_ready, const Packet& pkt,
                                 std::uint64_t count) {
   if (count == 0) return Delivery{t_ready, t_ready, t_ready};
   const sim::Time d = sim::transfer_time(pkt.wire_bytes(), bandwidth_);
+  // Retries for the whole stream are drawn in one batch and smeared across
+  // it: the closed form keeps O(1) timing while the flit counts stay exact.
+  const sim::Time stream_retry =
+      retry_penalty(static_cast<std::uint64_t>(pkt.wire_bytes()) * count);
 
   // Admission of the first packet obeys the same queue rule as submit().
   const sim::Time admission_first = queue_admission(t_ready);
   const sim::Time start = std::max(admission_first, wire_free_);
-  const sim::Time finish_last = start + d * static_cast<double>(count);
+  const sim::Time finish_last =
+      start + d * static_cast<double>(count) + stream_retry;
   wire_free_ = finish_last;
 
   // Packets beyond the queue capacity are admitted one wire-completion at a
@@ -88,7 +131,7 @@ Delivery Channel::submit_stream(sim::Time t_ready, const Packet& pkt,
   stats_.packets += count;
   stats_.payload_bytes += static_cast<std::uint64_t>(pkt.payload_bytes) * count;
   stats_.wire_bytes += static_cast<std::uint64_t>(pkt.wire_bytes()) * count;
-  stats_.busy_time += d * static_cast<double>(count);
+  stats_.busy_time += d * static_cast<double>(count) + stream_retry;
   return Delivery{admission_last, finish_last, finish_last + latency_};
 }
 

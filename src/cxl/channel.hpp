@@ -13,10 +13,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 
+#include "cxl/flit.hpp"
 #include "cxl/packet.hpp"
 #include "cxl/phy.hpp"
+#include "cxl/reliability.hpp"
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace teco::cxl {
@@ -25,11 +29,15 @@ struct ChannelStats {
   std::uint64_t packets = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t wire_bytes = 0;
-  sim::Time busy_time = 0.0;        ///< Wire occupancy.
+  sim::Time busy_time = 0.0;        ///< Wire occupancy (includes retries).
   sim::Time producer_stall = 0.0;   ///< Time producers waited on a full queue.
   std::uint64_t stalled_packets = 0;
   sim::Time last_finish = 0.0;      ///< Wire-finish of the latest packet.
   sim::Time last_delivery = 0.0;    ///< Arrival (finish + latency).
+  // Monte-Carlo link-retry accounting (enable_retry()).
+  std::uint64_t flits = 0;          ///< Goodput flits carried.
+  std::uint64_t retried_flits = 0;  ///< Extra transmissions due to CRC fails.
+  sim::Time retry_time = 0.0;       ///< Wire + handshake time spent retrying.
 };
 
 struct Delivery {
@@ -58,6 +66,18 @@ class Channel {
   /// Earliest time by which everything submitted so far has been delivered.
   sim::Time drain_time() const { return stats_.last_delivery; }
 
+  /// Make the analytic RetryModel executable: every submission is framed
+  /// into flits and a seeded Monte-Carlo draw decides how many arrive
+  /// corrupted and are retransmitted (each retransmission re-occupies the
+  /// wire for one flit time plus the retry handshake round trip). With the
+  /// spec BER (1e-12) this is a no-op in practice — which is exactly the
+  /// claim reliability.hpp makes analytically and the property test checks
+  /// empirically at elevated BERs.
+  void enable_retry(const RetryModel& model, std::uint64_t seed,
+                    const FlitConfig& flit = {});
+  void disable_retry() { retry_.reset(); }
+  bool retry_enabled() const { return retry_.has_value(); }
+
   const ChannelStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   sim::Bandwidth bandwidth() const { return bandwidth_; }
@@ -65,8 +85,18 @@ class Channel {
   void reset();
 
  private:
+  struct RetryState {
+    RetryModel model;
+    FlitConfig flit;
+    double flit_error_prob = 0.0;
+    sim::Rng rng;
+  };
+
   sim::Time queue_admission(sim::Time t_ready);
   void record_finish(sim::Time finish);
+  /// Extra wire + handshake time for retransmissions of a submission that
+  /// carries `wire_bytes` of payload (0 when retry is disabled).
+  sim::Time retry_penalty(std::uint64_t wire_bytes);
 
   std::string name_;
   sim::Bandwidth bandwidth_;
@@ -77,6 +107,7 @@ class Channel {
   std::deque<sim::Time> inflight_finish_;
   sim::Time wire_free_ = 0.0;
   ChannelStats stats_;
+  std::optional<RetryState> retry_;
 };
 
 }  // namespace teco::cxl

@@ -23,6 +23,17 @@ enum class Direction : std::uint8_t {
   kDeviceToCpu,
 };
 
+/// Injection hook consulted before every submission. ft::FaultInjector uses
+/// it to model link-down/retrain windows: the returned delay shifts the
+/// packet's ready time (the producer is stalled until the link is back up).
+/// Return 0 for healthy transmissions.
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook() = default;
+  virtual sim::Time transmit_delay(Direction dir, sim::Time t_ready,
+                                   const Packet& pkt, std::uint64_t count) = 0;
+};
+
 class Link {
  public:
   explicit Link(const PhyConfig& phy = {}, std::size_t queue_capacity = 128)
@@ -34,7 +45,7 @@ class Link {
 
   Delivery send(Direction dir, sim::Time t_ready, const Packet& pkt) {
     count(pkt, 1);
-    const Delivery d = channel(dir).submit(t_ready, pkt);
+    const Delivery d = channel(dir).submit(faulted(dir, t_ready, pkt, 1), pkt);
     notify(dir, t_ready, pkt, 1, d);
     return d;
   }
@@ -42,7 +53,8 @@ class Link {
   Delivery send_stream(Direction dir, sim::Time t_ready, const Packet& pkt,
                        std::uint64_t n) {
     count(pkt, n);
-    const Delivery d = channel(dir).submit_stream(t_ready, pkt, n);
+    const Delivery d =
+        channel(dir).submit_stream(faulted(dir, t_ready, pkt, n), pkt, n);
     notify(dir, t_ready, pkt, n, d);
     return d;
   }
@@ -89,7 +101,24 @@ class Link {
   /// conservation compares its observed injections against channel stats.
   void set_observer(check::Observer* obs) { observer_ = obs; }
 
+  /// Attach/detach a fault-injection hook (nullptr to detach). Consulted on
+  /// every send; see LinkFaultHook.
+  void set_fault_hook(LinkFaultHook* hook) { fault_hook_ = hook; }
+
+  /// Enable the Monte-Carlo CRC-retry path on both directions. Each
+  /// direction gets a decorrelated stream derived from `seed`.
+  void enable_retry(const RetryModel& model, std::uint64_t seed,
+                    const FlitConfig& flit = {}) {
+    down_.enable_retry(model, seed * 2 + 1, flit);
+    up_.enable_retry(model, seed * 2 + 2, flit);
+  }
+
  private:
+  sim::Time faulted(Direction dir, sim::Time t_ready, const Packet& pkt,
+                    std::uint64_t n) {
+    if (fault_hook_ == nullptr) return t_ready;
+    return t_ready + fault_hook_->transmit_delay(dir, t_ready, pkt, n);
+  }
   void count(const Packet& pkt, std::uint64_t n) {
     message_counts_.add(std::string(to_string(pkt.type)), n);
   }
@@ -107,6 +136,7 @@ class Link {
   Channel down_;
   Channel up_;
   check::Observer* observer_ = nullptr;
+  LinkFaultHook* fault_hook_ = nullptr;
   sim::CounterSet message_counts_;
 };
 

@@ -1,0 +1,153 @@
+#include "ft/checkpoint_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace teco::ft {
+
+namespace {
+
+/// Committed header line: identifies the image and the step it captures.
+constexpr std::uint64_t kHeaderMagic = 0x7465636f'66743031ull;  // "tecoft01"
+constexpr mem::Addr kHeaderAddr = 0;
+
+struct Header {
+  std::uint64_t magic = 0;
+  std::uint64_t step = 0;
+};
+
+}  // namespace
+
+void CheckpointEngine::register_state(const std::string& name,
+                                      std::span<const float> data,
+                                      mem::Addr track_base) {
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("CheckpointEngine: duplicate region '" +
+                                name + "'");
+  }
+  StateRegion r;
+  r.name = name;
+  r.data = data;
+  r.track_base = track_base;
+  r.pmem_base = pmem_next_;
+  r.dirty.assign(r.lines(), true);  // Everything is dirty before snapshot 0.
+  constexpr mem::Addr kPmemAlign = 0x1000;
+  pmem_next_ += (r.bytes() + kPmemAlign - 1) / kPmemAlign * kPmemAlign;
+  regions_.push_back(std::move(r));
+}
+
+CheckpointEngine::StateRegion* CheckpointEngine::find(const std::string& n) {
+  for (auto& r : regions_) {
+    if (r.name == n) return &r;
+  }
+  return nullptr;
+}
+
+const CheckpointEngine::StateRegion* CheckpointEngine::find(
+    const std::string& n) const {
+  return const_cast<CheckpointEngine*>(this)->find(n);
+}
+
+void CheckpointEngine::mark_floats(const std::string& name, std::size_t first,
+                                   std::size_t count) {
+  StateRegion* r = find(name);
+  if (r == nullptr || count == 0) return;
+  const std::size_t lo = first * sizeof(float) / mem::kLineBytes;
+  const std::size_t hi =
+      ((first + count) * sizeof(float) - 1) / mem::kLineBytes;
+  for (std::size_t l = lo; l <= hi && l < r->dirty.size(); ++l) {
+    r->dirty[l] = true;
+  }
+}
+
+void CheckpointEngine::mark_all_dirty() {
+  for (auto& r : regions_) {
+    std::fill(r.dirty.begin(), r.dirty.end(), true);
+  }
+}
+
+void CheckpointEngine::on_packet(sim::Time /*now*/, std::uint8_t dir,
+                                 std::uint8_t msg_type, mem::Addr addr,
+                                 std::uint64_t count,
+                                 sim::Time /*delivered*/) {
+  if (msg_type != static_cast<std::uint8_t>(cxl::MessageType::kFlushData) ||
+      dir != static_cast<std::uint8_t>(cxl::Direction::kCpuToDevice)) {
+    return;
+  }
+  for (auto& r : regions_) {
+    if (r.track_base == kUntracked) continue;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const mem::Addr a = addr + i * mem::kLineBytes;
+      if (a < r.track_base || a >= r.track_base + r.bytes()) continue;
+      r.dirty[(a - r.track_base) / mem::kLineBytes] = true;
+    }
+  }
+}
+
+CheckpointEngine::Result CheckpointEngine::checkpoint(sim::Time now,
+                                                      std::size_t step,
+                                                      sim::Time overlap) {
+  Result res;
+  for (auto& r : regions_) {
+    const bool full_pass = mode_ == core::FtMode::kFull ||
+                           !r.ever_checkpointed;
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(r.data.data());
+    for (std::uint64_t l = 0; l < r.lines(); ++l) {
+      if (!full_pass && !r.dirty[l]) {
+        ++stats_.lines_skipped_clean;
+        continue;
+      }
+      const std::uint64_t off = l * mem::kLineBytes;
+      const std::uint64_t n = std::min(mem::kLineBytes, r.bytes() - off);
+      store_.stage_bytes(r.pmem_base + off, {bytes + off, n});
+      ++res.lines;
+    }
+    std::fill(r.dirty.begin(), r.dirty.end(), false);
+    r.ever_checkpointed = true;
+  }
+  Header h{kHeaderMagic, step};
+  std::uint8_t hbytes[sizeof(Header)];
+  std::memcpy(hbytes, &h, sizeof(Header));
+  store_.stage_bytes(kHeaderAddr, hbytes);
+
+  res.bytes = res.lines * mem::kLineBytes;
+  res.media_time = store_.commit(now) - now;
+  if (mode_ == core::FtMode::kIncremental) {
+    // The staged lines rode the coherence stream the pmem device snoops, so
+    // their media writes hide behind up to `overlap` of step compute; the
+    // durability fence is always exposed.
+    res.exposed_time =
+        std::max(res.media_time - overlap, store_.timing().flush_latency);
+  } else {
+    res.exposed_time = res.media_time;
+  }
+
+  ++stats_.checkpoints;
+  stats_.lines_written += res.lines;
+  stats_.bytes_written += res.bytes;
+  stats_.media_time += res.media_time;
+  stats_.exposed_time += res.exposed_time;
+  return res;
+}
+
+std::size_t CheckpointEngine::last_durable_step() const {
+  std::uint8_t hbytes[sizeof(Header)];
+  store_.read(kHeaderAddr, hbytes);
+  Header h;
+  std::memcpy(&h, hbytes, sizeof(Header));
+  if (h.magic != kHeaderMagic) return kNoStep;
+  return static_cast<std::size_t>(h.step);
+}
+
+bool CheckpointEngine::restore_into(const std::string& name,
+                                    std::span<float> out) const {
+  const StateRegion* r = find(name);
+  if (r == nullptr || out.size() != r->data.size()) return false;
+  store_.read(r->pmem_base,
+              {reinterpret_cast<std::uint8_t*>(out.data()),
+               out.size() * sizeof(float)});
+  return true;
+}
+
+}  // namespace teco::ft

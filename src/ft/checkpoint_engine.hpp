@@ -1,0 +1,132 @@
+// Checkpointing of training state into the persistent CXL device.
+//
+// The engine snapshots registered state regions (FP32 master parameters,
+// the accelerator's parameter image, Adam m/v) into a PersistentStore. Two
+// modes, selected by core::FtMode:
+//
+//   kFull         every checkpoint stages every line and commits — a
+//                 synchronous stop-the-world snapshot.
+//   kIncremental  only lines dirtied since the last durable checkpoint are
+//                 staged. Parameter dirt is discovered for free: the update
+//                 protocol already pushes every modified line over the link
+//                 as FlushData (cpu->device), and the engine listens on the
+//                 check::Observer packet hook. Host-only state (Adam m/v)
+//                 is marked explicitly by the trainer. Because the staged
+//                 lines ride the same stream the pmem device snoops, their
+//                 media writes overlap compute; only the excess beyond the
+//                 overlap window plus the durability fence is exposed.
+//
+// Restores read the committed image only (stage-then-crash loses exactly
+// the staged lines), which is what makes the crash-recovery test able to
+// demand bit-identical replay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/observer.hpp"
+#include "core/session.hpp"
+#include "cxl/link.hpp"
+#include "cxl/packet.hpp"
+#include "ft/persistent_store.hpp"
+#include "mem/address.hpp"
+#include "sim/time.hpp"
+
+namespace teco::ft {
+
+struct CheckpointStats {
+  std::uint64_t checkpoints = 0;
+  std::uint64_t lines_written = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t lines_skipped_clean = 0;  ///< Incremental mode savings.
+  sim::Time media_time = 0.0;    ///< Total pmem write + fence time.
+  sim::Time exposed_time = 0.0;  ///< Portion on the training critical path.
+};
+
+class CheckpointEngine final : public check::Observer {
+ public:
+  /// Sentinel for "no durable checkpoint yet".
+  static constexpr std::size_t kNoStep = static_cast<std::size_t>(-1);
+
+  CheckpointEngine(PersistentStore& store, core::FtMode mode)
+      : store_(store), mode_(mode) {}
+
+  /// Register a state region backed by the live buffer `data` (the engine
+  /// reads it at checkpoint time; it must stay valid and fixed-size).
+  /// `track_base` is the session address the region occupies in the
+  /// coherent domain — FlushData packets to [track_base, track_base+bytes)
+  /// mark its lines dirty automatically. Pass kUntracked for host-only
+  /// state that the trainer marks by hand (Adam moments).
+  static constexpr mem::Addr kUntracked = static_cast<mem::Addr>(-1);
+  void register_state(const std::string& name, std::span<const float> data,
+                      mem::Addr track_base = kUntracked);
+
+  /// Explicit dirty marks for host-only regions: floats [first, first+count)
+  /// of region `name` changed since the last checkpoint.
+  void mark_floats(const std::string& name, std::size_t first,
+                   std::size_t count);
+  /// Forget all tracking and treat every region as fully dirty (used after
+  /// a crash restore, when in-memory tracking can no longer be trusted).
+  void mark_all_dirty();
+
+  struct Result {
+    std::uint64_t lines = 0;
+    std::uint64_t bytes = 0;
+    sim::Time media_time = 0.0;    ///< Pmem write + durability fence.
+    sim::Time exposed_time = 0.0;  ///< Critical-path share of media_time.
+  };
+
+  /// Snapshot all registered regions as of `step` and commit. In
+  /// incremental mode, up to `overlap_window` of the media write hides
+  /// behind compute (the staged lines rode the update stream during the
+  /// step); full checkpoints are synchronous.
+  Result checkpoint(sim::Time now, std::size_t step,
+                    sim::Time overlap_window = 0.0);
+
+  /// Last step with a durable (committed) checkpoint, or kNoStep. Read from
+  /// the committed header line, so a crash after stage-before-commit
+  /// correctly reports the previous checkpoint.
+  std::size_t last_durable_step() const;
+
+  /// Copy the committed image of region `name` into `out` (sized exactly
+  /// as registered). Returns false if the name is unknown.
+  bool restore_into(const std::string& name, std::span<float> out) const;
+
+  core::FtMode mode() const { return mode_; }
+  const CheckpointStats& stats() const { return stats_; }
+
+  // check::Observer — dirty discovery from update-protocol pushes.
+  void on_packet(sim::Time now, std::uint8_t dir, std::uint8_t msg_type,
+                 mem::Addr addr, std::uint64_t count,
+                 sim::Time delivered) override;
+
+ private:
+  struct StateRegion {
+    std::string name;
+    std::span<const float> data;
+    mem::Addr track_base = kUntracked;
+    mem::Addr pmem_base = 0;  ///< Where the image lives in the store.
+    std::vector<bool> dirty;  ///< Per line; sized to the region.
+    bool ever_checkpointed = false;
+
+    std::uint64_t bytes() const { return data.size() * sizeof(float); }
+    std::uint64_t lines() const {
+      return (bytes() + mem::kLineBytes - 1) / mem::kLineBytes;
+    }
+  };
+
+  StateRegion* find(const std::string& name);
+  const StateRegion* find(const std::string& name) const;
+
+  PersistentStore& store_;
+  core::FtMode mode_;
+  std::vector<StateRegion> regions_;
+  /// Pmem layout: header line at 0, regions bump-allocated behind it at
+  /// 4 KiB granularity.
+  mem::Addr pmem_next_ = 0x1000;
+  CheckpointStats stats_;
+};
+
+}  // namespace teco::ft

@@ -1,0 +1,89 @@
+#include "ft/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace teco::ft {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  crash_step_used_.assign(plan_.crash_steps.size(), false);
+  if (plan_.mtbf > 0.0 && plan_.mtbf_horizon > 0.0) {
+    sim::Rng rng(plan_.seed ^ 0xc7a5'7a11'5eedull);
+    sim::Time t = 0.0;
+    while (true) {
+      t += rng.next_exponential(plan_.mtbf);
+      if (t >= plan_.mtbf_horizon) break;
+      sampled_crashes_.push_back(t);
+    }
+  }
+}
+
+sim::Time FaultInjector::transmit_delay(cxl::Direction /*dir*/,
+                                        sim::Time t_ready,
+                                        const cxl::Packet& /*pkt*/,
+                                        std::uint64_t /*count*/) {
+  // Stall submission to the end of every down window covering the ready
+  // time; windows may abut, so re-check after each shift.
+  sim::Time t = t_ready;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& w : plan_.link_down) {
+      if (t >= w.start && t < w.start + w.duration) {
+        t = w.start + w.duration;
+        moved = true;
+      }
+    }
+  }
+  if (t > t_ready) {
+    ++stats_.packets_delayed;
+    stats_.delay_injected += t - t_ready;
+  }
+  return t - t_ready;
+}
+
+void FaultInjector::on_packet(sim::Time /*now*/, std::uint8_t /*dir*/,
+                              std::uint8_t /*msg_type*/, mem::Addr /*addr*/,
+                              std::uint64_t count, sim::Time /*delivered*/) {
+  stats_.packets_observed += count;
+}
+
+bool FaultInjector::crash_due(std::size_t step, sim::Time now) {
+  for (std::size_t i = 0; i < plan_.crash_steps.size(); ++i) {
+    if (!crash_step_used_[i] && plan_.crash_steps[i] == step) {
+      crash_step_used_[i] = true;
+      ++stats_.crashes;
+      return true;
+    }
+  }
+  if (next_sampled_ < sampled_crashes_.size() &&
+      sampled_crashes_[next_sampled_] <= now) {
+    ++next_sampled_;
+    ++stats_.crashes;
+    return true;
+  }
+  return false;
+}
+
+std::vector<PoisonEvent> FaultInjector::take_poison(std::size_t step) {
+  std::vector<PoisonEvent> out;
+  for (const auto& p : plan_.poison) {
+    if (p.step == step) out.push_back(p);
+  }
+  std::erase_if(plan_.poison,
+                [step](const PoisonEvent& p) { return p.step == step; });
+  stats_.poisoned_lines += out.size();
+  return out;
+}
+
+bool FaultInjector::link_flaky_at(sim::Time t) const {
+  if (plan_.bit_error_rate >= 1e-7) return true;
+  for (const auto& w : plan_.link_down) {
+    // A window counts as "around t" from shortly before it opens until it
+    // closes: recovery decisions made just ahead of a retrain should treat
+    // the link as unreliable.
+    if (t >= w.start - 1.0 && t < w.start + w.duration) return true;
+  }
+  return false;
+}
+
+}  // namespace teco::ft

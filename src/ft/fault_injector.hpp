@@ -1,0 +1,113 @@
+// Seeded, deterministic fault injection for the coherent training domain.
+//
+// A FaultPlan describes everything that will go wrong in a run; the
+// injector turns it into concrete events through the two hook surfaces the
+// domain exposes:
+//
+//   cxl::LinkFaultHook   link-down / retrain windows stall packet
+//                        submission until the link is back up. (Flit CRC
+//                        corruption is the third link fault class; it is
+//                        injected below this hook, inside the channel's
+//                        Monte-Carlo retry path — see
+//                        SessionConfig::mc_bit_error_rate.)
+//   check::Observer      passive accounting of the traffic the faults
+//                        perturbed (packets delayed, fences observed).
+//
+// Device crashes and poisoned lines are polled by the training harness at
+// step boundaries: crash_due()/take_poison() consume scheduled events. MTBF
+// sampling draws exponential inter-failure times from the plan seed at
+// construction, so the schedule is reproducible and independent of how
+// often the harness polls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/observer.hpp"
+#include "cxl/link.hpp"
+#include "cxl/packet.hpp"
+#include "mem/address.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace teco::ft {
+
+/// A link retrain window: the link transmits nothing in [start, start+dur).
+struct DownWindow {
+  sim::Time start = 0.0;
+  sim::Time duration = 0.0;
+};
+
+/// Poison cache line `line_offset` (line index relative to the parameter
+/// region) right after step `step` completes.
+struct PoisonEvent {
+  std::size_t step = 0;
+  std::size_t line_offset = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Flit bit-error rate for the Monte-Carlo retry path. The harness copies
+  /// this into SessionConfig::mc_bit_error_rate; it lives in the plan so one
+  /// object describes the whole fault load.
+  double bit_error_rate = 0.0;
+  std::vector<DownWindow> link_down;
+  std::vector<PoisonEvent> poison;
+  /// Device crashes right after these steps complete (before checkpointing).
+  std::vector<std::size_t> crash_steps;
+  /// When > 0, additionally sample crash times from an exponential
+  /// distribution with this mean over [0, mtbf_horizon).
+  sim::Time mtbf = 0.0;
+  sim::Time mtbf_horizon = 0.0;
+};
+
+struct FaultStats {
+  std::uint64_t packets_observed = 0;
+  std::uint64_t packets_delayed = 0;
+  sim::Time delay_injected = 0.0;
+  std::uint64_t crashes = 0;
+  std::uint64_t poisoned_lines = 0;
+};
+
+class FaultInjector final : public check::Observer, public cxl::LinkFaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // --- cxl::LinkFaultHook ---
+  /// Delay a submission past any covering down window (retrain stall).
+  sim::Time transmit_delay(cxl::Direction dir, sim::Time t_ready,
+                           const cxl::Packet& pkt,
+                           std::uint64_t count) override;
+
+  // --- check::Observer ---
+  void on_packet(sim::Time now, std::uint8_t dir, std::uint8_t msg_type,
+                 mem::Addr addr, std::uint64_t count,
+                 sim::Time delivered) override;
+
+  // --- Step-boundary events (consumed by the harness) ---
+  /// True when a crash is scheduled at `step` (explicit) or has a sampled
+  /// crash time <= `now` (MTBF). Consumes the event.
+  bool crash_due(std::size_t step, sim::Time now);
+  /// Poison events scheduled for `step`; consumes them.
+  std::vector<PoisonEvent> take_poison(std::size_t step);
+
+  /// True when the link is degraded around `t`: inside or approaching a
+  /// down window, or carrying a non-trivial bit-error rate. Recovery uses
+  /// this to pick a degraded mode after a crash.
+  bool link_flaky_at(sim::Time t) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  const std::vector<sim::Time>& sampled_crash_times() const {
+    return sampled_crashes_;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::vector<sim::Time> sampled_crashes_;  ///< Ascending; consumed front-first.
+  std::size_t next_sampled_ = 0;
+  std::vector<bool> crash_step_used_;
+  FaultStats stats_;
+};
+
+}  // namespace teco::ft

@@ -1,0 +1,58 @@
+#include "ft/recovery_manager.hpp"
+
+#include <cstddef>
+
+namespace teco::ft {
+
+std::string_view to_string(DegradedMode m) {
+  switch (m) {
+    case DegradedMode::kNone: return "none";
+    case DegradedMode::kDbaOff: return "dba-off";
+    case DegradedMode::kInvalidation: return "invalidation";
+  }
+  __builtin_unreachable();
+}
+
+RecoveryManager::RestorePlan RecoveryManager::plan_recovery(
+    sim::Time crash_time, const FaultInjector& inj, std::uint64_t state_bytes,
+    std::uint64_t device_image_bytes, double link_bw,
+    bool allow_degraded) const {
+  RestorePlan plan;
+  const std::size_t durable = engine_.last_durable_step();
+  plan.from_checkpoint = durable != CheckpointEngine::kNoStep;
+  plan.resume_step = plan.from_checkpoint ? durable + 1 : 0;
+
+  // Re-pushing the device's parameter image crosses the link either way; the
+  // pmem read only happens when there is a committed image to read.
+  plan.restore_time =
+      static_cast<double>(device_image_bytes) / link_bw;
+  if (plan.from_checkpoint) {
+    plan.restore_time += store_.timing().read_time(state_bytes);
+  }
+
+  if (allow_degraded && inj.link_flaky_at(crash_time)) {
+    plan.degraded = inj.plan().bit_error_rate >= 1e-7
+                        ? DegradedMode::kDbaOff
+                        : DegradedMode::kInvalidation;
+  }
+  return plan;
+}
+
+void RecoveryManager::record_recovery(const RestorePlan& plan,
+                                      sim::Time lost_work,
+                                      std::size_t steps_replayed) {
+  ++stats_.recoveries;
+  if (!plan.from_checkpoint) ++stats_.restarts_from_scratch;
+  stats_.steps_replayed += steps_replayed;
+  stats_.lost_work += lost_work;
+  stats_.restore_time += plan.restore_time;
+  stats_.last_degraded = plan.degraded;
+}
+
+void RecoveryManager::scrub_poisoned_line(core::Session& session,
+                                          mem::Addr line_addr) {
+  session.scrub_device_line(line_addr);
+  ++stats_.scrubbed_lines;
+}
+
+}  // namespace teco::ft

@@ -1,0 +1,92 @@
+// Crash recovery policy and accounting.
+//
+// When the fault injector crashes the device, the harness asks the
+// RecoveryManager for a RestorePlan: which step to resume from (the last
+// durable checkpoint, or a from-scratch restart when none exists), how long
+// the restore takes (pmem read of the committed image plus re-pushing the
+// accelerator's parameter image over the CXL link), and whether to come
+// back up in a degraded mode while the link is flaky:
+//
+//   kDbaOff        the link carries a real bit-error rate: trimmed DBA
+//                  payloads widen the blast radius of an undetected flit
+//                  corruption, so recovery re-enables full-line pushes
+//                  (retry protects whole lines).
+//   kInvalidation  the link has retrain windows: demand-driven invalidation
+//                  traffic avoids wasting pushed updates that would stall
+//                  behind a down window and be re-pushed anyway.
+//
+// The manager also scrubs poisoned device lines by re-seeding them from the
+// CPU-side master copy (a CXL.mem read of one line) and keeps the
+// aggregate RecoveryStats the report prints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/session.hpp"
+#include "ft/checkpoint_engine.hpp"
+#include "ft/fault_injector.hpp"
+#include "ft/persistent_store.hpp"
+#include "mem/address.hpp"
+#include "sim/time.hpp"
+
+namespace teco::ft {
+
+enum class DegradedMode : std::uint8_t {
+  kNone,          ///< Recover with the original configuration.
+  kDbaOff,        ///< Disable dirty-byte aggregation while the link is flaky.
+  kInvalidation,  ///< Fall back to the invalidation protocol.
+};
+
+std::string_view to_string(DegradedMode m);
+
+struct RecoveryStats {
+  std::uint64_t recoveries = 0;
+  std::uint64_t restarts_from_scratch = 0;  ///< Crashes with no checkpoint.
+  std::uint64_t steps_replayed = 0;
+  sim::Time lost_work = 0.0;     ///< Wall time whose results were discarded.
+  sim::Time restore_time = 0.0;  ///< Pmem reads + device image re-push.
+  std::uint64_t scrubbed_lines = 0;
+  DegradedMode last_degraded = DegradedMode::kNone;
+};
+
+class RecoveryManager {
+ public:
+  struct RestorePlan {
+    std::size_t resume_step = 0;  ///< First step to (re-)execute.
+    bool from_checkpoint = false;
+    DegradedMode degraded = DegradedMode::kNone;
+    sim::Time restore_time = 0.0;
+  };
+
+  RecoveryManager(CheckpointEngine& engine, PersistentStore& store)
+      : engine_(engine), store_(store) {}
+
+  /// Decide how to come back from a crash at `crash_time`. `state_bytes` is
+  /// the full checkpoint image (pmem read), `device_image_bytes` the
+  /// parameter image that must travel back over the link at `link_bw`.
+  RestorePlan plan_recovery(sim::Time crash_time, const FaultInjector& inj,
+                            std::uint64_t state_bytes,
+                            std::uint64_t device_image_bytes, double link_bw,
+                            bool allow_degraded) const;
+
+  /// Account a completed recovery: the plan that was executed, the wall
+  /// time discarded, and how many steps the replay will redo.
+  void record_recovery(const RestorePlan& plan, sim::Time lost_work,
+                       std::size_t steps_replayed);
+
+  /// Repair one poisoned device line from the CPU-side master image via a
+  /// full-line coherent push (Session::scrub_device_line), so the repair
+  /// flows through the protocol and stays checker-visible.
+  void scrub_poisoned_line(core::Session& session, mem::Addr line_addr);
+
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  CheckpointEngine& engine_;
+  PersistentStore& store_;
+  RecoveryStats stats_;
+};
+
+}  // namespace teco::ft

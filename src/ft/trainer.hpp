@@ -1,0 +1,69 @@
+// Deterministic fault-tolerant training harness.
+//
+// Drives a synthetic sparse-update training loop through a core::Session
+// with the full ft stack attached: checkpoints at the configured interval,
+// faults injected from a FaultPlan, crash recovery through the
+// RecoveryManager. The workload recurrence is keyed so that replay is
+// exact: step s draws its touched lines and gradient noise from an RNG
+// seeded by (data_seed, s), and the optimizer is a lazy per-index Adam over
+// the touched indices with the global step count as bias-correction time.
+// Restoring a checkpoint of (master, accel image, m, v) at step k therefore
+// reproduces steps k+1..n bit-for-bit — the property the crash-recovery
+// test asserts against an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "dl/adam.hpp"
+#include "ft/checkpoint_engine.hpp"
+#include "ft/fault_injector.hpp"
+#include "ft/persistent_store.hpp"
+#include "ft/recovery_manager.hpp"
+#include "sim/time.hpp"
+
+namespace teco::ft {
+
+struct FtTrainConfig {
+  core::SessionConfig session;  ///< ft_mode / interval / seed live here.
+  std::size_t steps = 48;
+  std::size_t n_params = 4096;
+  /// Fraction of parameter lines each step touches (sparse lazy updates).
+  double update_fraction = 0.35;
+  dl::AdamConfig adam;
+  std::uint64_t data_seed = 7;
+  sim::Time step_compute = sim::ms(2.0);  ///< Forward+backward window.
+  sim::Time cpu_opt_time = sim::us(200);  ///< Clip + Adam sweep window.
+  PmemTiming pmem;
+  FaultPlan faults;
+  bool allow_degraded = true;
+  /// Safety valve: stop consuming crash events past this many recoveries.
+  std::size_t max_recoveries = 32;
+};
+
+struct FtTrainResult {
+  // Final training state (bit-comparable across runs).
+  std::vector<float> master;
+  std::vector<float> accel;
+  std::vector<float> adam_m;
+  std::vector<float> adam_v;
+
+  std::size_t steps_completed = 0;  ///< Distinct steps (excludes replays).
+  std::size_t steps_executed = 0;   ///< Including replayed steps.
+  sim::Time wall_time = 0.0;
+
+  core::FtMode mode = core::FtMode::kOff;
+  DegradedMode final_degraded = DegradedMode::kNone;
+  CheckpointStats checkpoint;
+  FaultStats faults;
+  RecoveryStats recovery;
+  PersistentStoreStats pmem;
+
+  std::string gantt;  ///< Rendered timeline (train/pmem/restore/fault lanes).
+};
+
+FtTrainResult run_ft_training(const FtTrainConfig& cfg);
+
+}  // namespace teco::ft

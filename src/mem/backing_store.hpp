@@ -63,6 +63,16 @@ class BackingStore {
   std::size_t resident_lines() const { return lines_.size(); }
   void clear() { lines_.clear(); }
 
+  /// Visit every resident line as (line base address, contents). Iteration
+  /// order is unspecified; used by the ft checkpoint engine to snapshot or
+  /// wipe stores without knowing the mapped regions.
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const auto& [index, line] : lines_) {
+      fn(static_cast<Addr>(index * kLineBytes), line);
+    }
+  }
+
  private:
   std::unordered_map<std::uint64_t, Line> lines_;
 };

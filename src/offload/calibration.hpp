@@ -51,6 +51,18 @@ struct Calibration {
   /// Aggregator/Disaggregator pipeline latency charged end-to-end
   /// (Section VIII-D: 1 ns, amortized by pipelining).
   sim::Time dba_latency = sim::ns(1.0);
+
+  /// Persistent CXL memory device — the checkpoint target of teco::ft
+  /// (TrainingCXL-style CXL-PM expander). Sequential-write-limited media
+  /// behind a CXL.mem port: write bandwidth well below the link, reads
+  /// closer to DRAM-over-CXL.
+  double pmem_write_bw = 8e9;
+  double pmem_read_bw = 20e9;
+  /// Media + port access latency charged once per checkpoint/restore pass.
+  sim::Time pmem_access_latency = sim::ns(400);
+  /// Durability fence: flush the device write buffer so a crash cannot
+  /// lose the checkpoint (ADR-style drain, charged per commit).
+  sim::Time pmem_flush_latency = sim::us(2.0);
 };
 
 /// Shared default used by all benches (so tables are comparable).

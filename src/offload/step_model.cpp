@@ -77,4 +77,41 @@ bool fits_on_gpu(const dl::ModelConfig& m, std::uint32_t batch,
   return total <= static_cast<double>(gpu_bytes);
 }
 
+CheckpointCosts checkpoint_costs(const dl::ModelConfig& m,
+                                 const Calibration& cal) {
+  CheckpointCosts c;
+  // FP32 master parameters + Adam first/second moments.
+  c.full_bytes = m.param_bytes() * 3;
+  c.full_write = cal.pmem_access_latency +
+                 static_cast<double>(c.full_bytes) / cal.pmem_write_bw +
+                 cal.pmem_flush_latency;
+  // Restore reads everything back from pmem, then re-pushes the parameter
+  // image to the accelerator over the CXL link (the optimizer state stays
+  // CPU-side).
+  c.restore = cal.pmem_access_latency +
+              static_cast<double>(c.full_bytes) / cal.pmem_read_bw +
+              static_cast<double>(m.param_bytes()) / cal.phy.cxl_bandwidth();
+  return c;
+}
+
+FtOverhead expected_ft_overhead(sim::Time step_time,
+                                std::size_t interval_steps,
+                                sim::Time ckpt_cost, sim::Time restore_cost,
+                                sim::Time mtbf) {
+  FtOverhead o;
+  if (interval_steps == 0 || step_time <= 0.0) return o;
+  const double interval = static_cast<double>(interval_steps);
+  o.ckpt_per_step = ckpt_cost / interval;
+  // A failure lands uniformly inside the interval: half an interval of work
+  // (plus its amortized checkpoint cost) is redone, then one restore runs.
+  o.expected_lost_work = interval * (step_time + o.ckpt_per_step) / 2.0;
+  o.expected_restore = restore_cost;
+  if (mtbf > 0.0) {
+    o.overhead_fraction =
+        o.ckpt_per_step / step_time +
+        (o.expected_lost_work + o.expected_restore) / mtbf;
+  }
+  return o;
+}
+
 }  // namespace teco::offload

@@ -41,4 +41,35 @@ StepInputs compute_step_inputs(const dl::ModelConfig& m, std::uint32_t batch,
 bool fits_on_gpu(const dl::ModelConfig& m, std::uint32_t batch,
                  std::uint64_t gpu_bytes = 30ull << 30);
 
+// --- Fault-tolerance accounting (teco::ft) ---------------------------------
+
+/// Costs of persisting one training state snapshot (FP32 master parameters
+/// plus Adam m/v) into the persistent CXL memory device.
+struct CheckpointCosts {
+  std::uint64_t full_bytes = 0;   ///< params + m + v.
+  sim::Time full_write = 0.0;     ///< Synchronous write + durability fence.
+  sim::Time restore = 0.0;        ///< Pmem read + re-push of params to the
+                                  ///< device over the CXL link.
+};
+
+CheckpointCosts checkpoint_costs(const dl::ModelConfig& m,
+                                 const Calibration& cal);
+
+/// Expected steady-state overhead of checkpoint interval `interval_steps`
+/// under a Poisson failure process with the given MTBF (Young's first-order
+/// model): per-step checkpoint cost, plus — amortized over the expected
+/// time between failures — half an interval of lost work and one restore.
+struct FtOverhead {
+  sim::Time ckpt_per_step = 0.0;       ///< ckpt_cost / interval.
+  sim::Time expected_lost_work = 0.0;  ///< interval * step_time / 2.
+  sim::Time expected_restore = 0.0;    ///< restore_cost (per failure).
+  /// Fraction of useful runtime spent on checkpoints + failures.
+  double overhead_fraction = 0.0;
+};
+
+FtOverhead expected_ft_overhead(sim::Time step_time,
+                                std::size_t interval_steps,
+                                sim::Time ckpt_cost, sim::Time restore_cost,
+                                sim::Time mtbf);
+
 }  // namespace teco::offload

@@ -84,6 +84,45 @@ class Rng {
 
   bool next_bool(double p_true) { return next_double() < p_true; }
 
+  /// Exponential with the given mean (inter-arrival times of a Poisson
+  /// failure process, e.g. device crashes at a configured MTBF).
+  double next_exponential(double mean) {
+    // 1 - U in (0, 1], so the log argument never hits zero.
+    return -mean * std::log(1.0 - next_double());
+  }
+
+  /// Binomial(n, p) sample. Exact Bernoulli counting for small n; for large
+  /// n it switches to the Poisson (small p) or Gaussian approximation, both
+  /// fully deterministic under this generator. Used by the Monte-Carlo
+  /// link-retry path, where p is a per-flit CRC-corruption probability and
+  /// n can reach millions of flits per stream.
+  std::uint64_t next_binomial(std::uint64_t n, double p) {
+    if (n == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    if (n <= 128) {
+      std::uint64_t k = 0;
+      for (std::uint64_t i = 0; i < n; ++i) k += next_bool(p) ? 1 : 0;
+      return k;
+    }
+    const double mean = static_cast<double>(n) * p;
+    if (p < 1e-3 && mean < 64.0) {
+      // Poisson approximation via Knuth's product method.
+      const double limit = std::exp(-mean);
+      std::uint64_t k = 0;
+      double prod = next_double();
+      while (prod > limit) {
+        ++k;
+        prod *= next_double();
+      }
+      return k > n ? n : k;
+    }
+    const double sigma = std::sqrt(mean * (1.0 - p));
+    const double sample = mean + sigma * next_gaussian();
+    if (sample <= 0.0) return 0;
+    const auto k = static_cast<std::uint64_t>(sample + 0.5);
+    return k > n ? n : k;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -246,5 +246,43 @@ TEST(Session, ListingOneTrainingLoop) {
   EXPECT_EQ(s.link().message_counts().get("Invalidate"), 0u);
 }
 
+TEST(SessionAllocator, RejectsZeroByteRegions) {
+  Session s;
+  EXPECT_THROW(s.allocate_parameters("empty", 0), std::invalid_argument);
+  EXPECT_THROW(s.allocate_gradients("empty", 0), std::invalid_argument);
+}
+
+TEST(SessionAllocator, RejectsAbsurdSizes) {
+  Session s;
+  EXPECT_THROW(s.allocate_parameters("galaxy", 1ull << 62),
+               std::length_error);
+}
+
+TEST(SessionAllocator, FailsLoudlyOnAddressSpaceExhaustion) {
+  // Shrink the decode window so exhaustion is reachable with small maps:
+  // 1 MiB of allocatable space above the allocator's base.
+  SessionConfig cfg;
+  cfg.addr_space_bytes = 0x1000'0000ull + (1ull << 20);
+  Session s(cfg);
+  s.allocate_parameters("a", 512ull << 10);
+  s.allocate_parameters("b", 512ull << 10);  // Window now exactly full.
+  try {
+    s.allocate_parameters("c", 64);
+    FAIL() << "expected address-space exhaustion";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'c'"), std::string::npos);
+  }
+}
+
+TEST(SessionAllocator, KeepsLineAlignmentAcrossOddSizes) {
+  Session s;
+  const auto a = s.allocate_parameters("odd", 65);  // Rounds to two lines.
+  const auto b = s.allocate_gradients("next", 1);
+  EXPECT_EQ(a % mem::kLineBytes, 0u);
+  EXPECT_EQ(b % mem::kLineBytes, 0u);
+  EXPECT_EQ(b - a, 2 * mem::kLineBytes);
+}
+
 }  // namespace
 }  // namespace teco::core

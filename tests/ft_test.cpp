@@ -1,0 +1,446 @@
+// teco::ft — persistent store durability, checkpoint engine, fault
+// injection, and the deterministic crash-recovery guarantee: a run with an
+// injected device crash must restore, replay, and finish with bit-identical
+// parameters and optimizer state versus an uninterrupted run, in both full
+// and incremental checkpoint modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/session.hpp"
+#include "ft/checkpoint_engine.hpp"
+#include "ft/fault_injector.hpp"
+#include "ft/persistent_store.hpp"
+#include "ft/recovery_manager.hpp"
+#include "ft/trainer.hpp"
+#include "offload/step_model.hpp"
+
+namespace teco::ft {
+namespace {
+
+// ---------------------------------------------------------------- pmem ----
+
+TEST(PersistentStore, StagedBytesAreNotDurableUntilCommit) {
+  PersistentStore ps;
+  const std::uint8_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ps.stage_bytes(0x100, payload);
+  std::uint8_t out[8] = {};
+  ps.read(0x100, out);
+  EXPECT_EQ(out[0], 0);  // Crash-consistent readers see committed media only.
+  ps.commit(0.0);
+  ps.read(0x100, out);
+  EXPECT_EQ(0, std::memcmp(out, payload, 8));
+}
+
+TEST(PersistentStore, CrashDropsStagedKeepsCommitted) {
+  PersistentStore ps;
+  const std::uint8_t first[4] = {0xAA, 0xBB, 0xCC, 0xDD};
+  ps.stage_bytes(0x40, first);
+  ps.commit(0.0);
+
+  const std::uint8_t second[4] = {0x11, 0x22, 0x33, 0x44};
+  ps.stage_bytes(0x40, second);
+  EXPECT_EQ(ps.staged_lines(), 1u);
+  ps.crash();
+  EXPECT_EQ(ps.staged_lines(), 0u);
+
+  std::uint8_t out[4] = {};
+  ps.read(0x40, out);
+  EXPECT_EQ(0, std::memcmp(out, first, 4));
+  EXPECT_EQ(ps.stats().crashes, 1u);
+  EXPECT_EQ(ps.stats().lost_staged_lines, 1u);
+}
+
+TEST(PersistentStore, PartialLineStagingReadModifyWrites) {
+  PersistentStore ps;
+  const std::uint8_t base[4] = {9, 9, 9, 9};
+  ps.stage_bytes(0x80, base);
+  ps.commit(0.0);
+  // Overwrite two bytes in the middle of the committed line.
+  const std::uint8_t patch[2] = {7, 7};
+  ps.stage_bytes(0x81, patch);
+  ps.commit(0.0);
+  std::uint8_t out[4] = {};
+  ps.read(0x80, out);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[1], 7);
+  EXPECT_EQ(out[2], 7);
+  EXPECT_EQ(out[3], 9);
+}
+
+TEST(PersistentStore, CommitTimeFollowsPmemTiming) {
+  PmemTiming t;
+  t.write_bw = 1e9;
+  t.access_latency = sim::us(1.0);
+  t.flush_latency = sim::us(2.0);
+  PersistentStore ps(t);
+  std::vector<std::uint8_t> big(64 * 100, 0x5A);
+  ps.stage_bytes(0, big);
+  const sim::Time done = ps.commit(10.0);
+  EXPECT_DOUBLE_EQ(done, 10.0 + t.write_time(64 * 100) + t.flush_latency);
+  // An empty commit is a free fence.
+  EXPECT_DOUBLE_EQ(ps.commit(20.0), 20.0);
+}
+
+TEST(PersistentStore, TimingFromCalibration) {
+  offload::Calibration cal;
+  const auto t = PmemTiming::from_calibration(cal);
+  EXPECT_DOUBLE_EQ(t.write_bw, cal.pmem_write_bw);
+  EXPECT_DOUBLE_EQ(t.read_bw, cal.pmem_read_bw);
+  EXPECT_DOUBLE_EQ(t.access_latency, cal.pmem_access_latency);
+  EXPECT_DOUBLE_EQ(t.flush_latency, cal.pmem_flush_latency);
+}
+
+// ---------------------------------------------------- checkpoint engine ----
+
+TEST(CheckpointEngine, FullModeWritesEverythingEveryTime) {
+  PersistentStore ps;
+  CheckpointEngine eng(ps, core::FtMode::kFull);
+  std::vector<float> state(64, 1.0f);  // 4 lines.
+  eng.register_state("s", state);
+  EXPECT_EQ(eng.last_durable_step(), CheckpointEngine::kNoStep);
+
+  auto r1 = eng.checkpoint(0.0, 0);
+  EXPECT_EQ(r1.lines, 4u);
+  state[0] = 2.0f;  // Unmarked change: full mode does not care.
+  auto r2 = eng.checkpoint(1.0, 1);
+  EXPECT_EQ(r2.lines, 4u);
+  EXPECT_EQ(eng.last_durable_step(), 1u);
+
+  std::vector<float> out(64);
+  ASSERT_TRUE(eng.restore_into("s", out));
+  EXPECT_EQ(out[0], 2.0f);
+}
+
+TEST(CheckpointEngine, IncrementalWritesOnlyDirtyLines) {
+  PersistentStore ps;
+  CheckpointEngine eng(ps, core::FtMode::kIncremental);
+  std::vector<float> state(64, 1.0f);  // 4 lines of 16 floats.
+  eng.register_state("s", state);
+
+  // First checkpoint has no durable baseline: full pass.
+  EXPECT_EQ(eng.checkpoint(0.0, 0).lines, 4u);
+
+  state[17] = 5.0f;  // Line 1.
+  eng.mark_floats("s", 17, 1);
+  const auto r = eng.checkpoint(1.0, 1);
+  EXPECT_EQ(r.lines, 1u);
+  EXPECT_EQ(eng.stats().lines_skipped_clean, 3u);
+
+  std::vector<float> out(64);
+  ASSERT_TRUE(eng.restore_into("s", out));
+  EXPECT_EQ(out[17], 5.0f);
+  EXPECT_EQ(out[0], 1.0f);
+
+  // A clean checkpoint writes no region lines (header only).
+  EXPECT_EQ(eng.checkpoint(2.0, 2).lines, 0u);
+}
+
+TEST(CheckpointEngine, HeaderSurvivesStagedCrash) {
+  PersistentStore ps;
+  CheckpointEngine eng(ps, core::FtMode::kFull);
+  std::vector<float> state(16, 1.0f);
+  eng.register_state("s", state);
+  eng.checkpoint(0.0, 4);
+  ASSERT_EQ(eng.last_durable_step(), 4u);
+
+  // Stage a newer image but crash before it commits.
+  state[0] = 9.0f;
+  ps.stage_bytes(0x1000, std::vector<std::uint8_t>(64, 0xFF));
+  ps.crash();
+  EXPECT_EQ(eng.last_durable_step(), 4u);
+  std::vector<float> out(16);
+  ASSERT_TRUE(eng.restore_into("s", out));
+  EXPECT_EQ(out[0], 1.0f);
+}
+
+TEST(CheckpointEngine, TracksFlushDataFromLiveSession) {
+  core::Session s;
+  const auto pbase = s.allocate_parameters("p", 4 * mem::kLineBytes);
+
+  PersistentStore ps;
+  CheckpointEngine eng(ps, core::FtMode::kIncremental);
+  std::vector<float> shadow(4 * mem::kWordsPerLine, 0.0f);
+  eng.register_state("p", shadow, pbase);
+  s.add_observer(&eng);
+
+  eng.checkpoint(0.0, 0);  // Baseline; clears the initial all-dirty marks.
+
+  // Push exactly one line through the update protocol.
+  std::vector<float> line(mem::kWordsPerLine, 3.0f);
+  for (std::size_t i = 0; i < line.size(); ++i) shadow[i] = line[i];
+  s.cpu_write_parameters(pbase, line);
+  s.optimizer_step_complete();
+
+  const auto r = eng.checkpoint(s.now(), 1);
+  EXPECT_EQ(r.lines, 1u);  // Only the pushed line was dirty.
+  s.remove_observer(&eng);
+}
+
+TEST(CheckpointEngine, RejectsDuplicateRegions) {
+  PersistentStore ps;
+  CheckpointEngine eng(ps, core::FtMode::kFull);
+  std::vector<float> a(16), b(16);
+  eng.register_state("x", a);
+  EXPECT_THROW(eng.register_state("x", b), std::invalid_argument);
+  EXPECT_FALSE(eng.restore_into("y", a));
+}
+
+// ------------------------------------------------------- fault injector ----
+
+TEST(FaultInjector, SampledCrashScheduleIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.mtbf = 10.0;
+  plan.mtbf_horizon = 100.0;
+  FaultInjector a(plan), b(plan);
+  ASSERT_FALSE(a.sampled_crash_times().empty());
+  EXPECT_EQ(a.sampled_crash_times(), b.sampled_crash_times());
+  plan.seed = 14;
+  FaultInjector c(plan);
+  EXPECT_NE(a.sampled_crash_times(), c.sampled_crash_times());
+}
+
+TEST(FaultInjector, DownWindowStallsSubmission) {
+  FaultPlan plan;
+  plan.link_down.push_back({1.0, 0.5});
+  FaultInjector inj(plan);
+  const cxl::Packet pkt = cxl::data_packet(cxl::MessageType::kFlushData, 0, 64);
+  EXPECT_DOUBLE_EQ(
+      inj.transmit_delay(cxl::Direction::kCpuToDevice, 0.5, pkt, 1), 0.0);
+  EXPECT_DOUBLE_EQ(
+      inj.transmit_delay(cxl::Direction::kCpuToDevice, 1.2, pkt, 1), 0.3);
+  EXPECT_EQ(inj.stats().packets_delayed, 1u);
+  EXPECT_DOUBLE_EQ(inj.stats().delay_injected, 0.3);
+}
+
+TEST(FaultInjector, ExplicitCrashStepsAreConsumedOnce) {
+  FaultPlan plan;
+  plan.crash_steps = {3, 7};
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.crash_due(2, 0.0));
+  EXPECT_TRUE(inj.crash_due(3, 0.0));
+  EXPECT_FALSE(inj.crash_due(3, 0.0));  // Consumed; replay won't re-crash.
+  EXPECT_TRUE(inj.crash_due(7, 0.0));
+  EXPECT_EQ(inj.stats().crashes, 2u);
+}
+
+TEST(FaultInjector, PoisonEventsAreConsumed) {
+  FaultPlan plan;
+  plan.poison = {{2, 5}, {2, 9}, {4, 1}};
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.take_poison(0).empty());
+  EXPECT_EQ(inj.take_poison(2).size(), 2u);
+  EXPECT_TRUE(inj.take_poison(2).empty());
+  EXPECT_EQ(inj.take_poison(4).size(), 1u);
+  EXPECT_EQ(inj.stats().poisoned_lines, 3u);
+}
+
+TEST(FaultInjector, FlakyLinkDetection) {
+  FaultPlan quiet;
+  EXPECT_FALSE(FaultInjector(quiet).link_flaky_at(0.0));
+  FaultPlan ber;
+  ber.bit_error_rate = 1e-5;
+  EXPECT_TRUE(FaultInjector(ber).link_flaky_at(0.0));
+  FaultPlan down;
+  down.link_down.push_back({5.0, 1.0});
+  FaultInjector inj(down);
+  EXPECT_TRUE(inj.link_flaky_at(5.5));
+  EXPECT_FALSE(inj.link_flaky_at(50.0));
+}
+
+// -------------------------------------------------------- crash recovery ----
+
+FtTrainConfig small_config(core::FtMode mode) {
+  FtTrainConfig cfg;
+  cfg.session.ft_mode = mode;
+  cfg.session.ft_checkpoint_interval = 6;
+  cfg.session.act_aft_steps = 4;  // DBA activates mid-run.
+  cfg.steps = 24;
+  cfg.n_params = 2048;  // 128 lines.
+  cfg.update_fraction = 0.3;
+  cfg.step_compute = sim::us(50.0);
+  cfg.cpu_opt_time = sim::us(5.0);
+  return cfg;
+}
+
+void expect_bit_identical(const FtTrainResult& a, const FtTrainResult& b) {
+  ASSERT_EQ(a.master.size(), b.master.size());
+  EXPECT_EQ(0, std::memcmp(a.master.data(), b.master.data(),
+                           a.master.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(a.accel.data(), b.accel.data(),
+                           a.accel.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(a.adam_m.data(), b.adam_m.data(),
+                           a.adam_m.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(a.adam_v.data(), b.adam_v.data(),
+                           a.adam_v.size() * sizeof(float)));
+}
+
+class CrashRecovery : public ::testing::TestWithParam<core::FtMode> {};
+
+TEST_P(CrashRecovery, ReplayIsBitIdenticalToUninterruptedRun) {
+  const auto baseline = run_ft_training(small_config(GetParam()));
+  EXPECT_EQ(baseline.recovery.recoveries, 0u);
+  EXPECT_GT(baseline.checkpoint.checkpoints, 0u);
+
+  auto crashed_cfg = small_config(GetParam());
+  // Crash mid-interval: the last durable checkpoint is after step 11, so
+  // steps 12..14 must replay from the restored image.
+  crashed_cfg.faults.crash_steps = {14};
+  const auto crashed = run_ft_training(crashed_cfg);
+
+  EXPECT_EQ(crashed.recovery.recoveries, 1u);
+  EXPECT_EQ(crashed.recovery.steps_replayed, 3u);  // Resume at 12, crash at 14.
+  EXPECT_EQ(crashed.faults.crashes, 1u);
+  EXPECT_GT(crashed.recovery.lost_work, 0.0);
+  EXPECT_GT(crashed.recovery.restore_time, 0.0);
+  EXPECT_GT(crashed.steps_executed, baseline.steps_executed);
+  EXPECT_GT(crashed.wall_time, baseline.wall_time);
+  EXPECT_EQ(crashed.final_degraded, DegradedMode::kNone);
+
+  expect_bit_identical(baseline, crashed);
+}
+
+TEST_P(CrashRecovery, CrashBeforeFirstCheckpointRestartsFromScratch) {
+  auto cfg = small_config(GetParam());
+  cfg.steps = 10;
+  cfg.session.ft_checkpoint_interval = 8;
+  cfg.faults.crash_steps = {2};
+  const auto crashed = run_ft_training(cfg);
+  EXPECT_EQ(crashed.recovery.restarts_from_scratch, 1u);
+  EXPECT_EQ(crashed.recovery.steps_replayed, 3u);  // Steps 0..2 redone.
+
+  auto clean_cfg = small_config(GetParam());
+  clean_cfg.steps = 10;
+  clean_cfg.session.ft_checkpoint_interval = 8;
+  const auto clean = run_ft_training(clean_cfg);
+  expect_bit_identical(clean, crashed);
+}
+
+TEST_P(CrashRecovery, SurvivesBackToBackCrashes) {
+  auto cfg = small_config(GetParam());
+  cfg.faults.crash_steps = {8, 9, 20};
+  const auto crashed = run_ft_training(cfg);
+  EXPECT_EQ(crashed.recovery.recoveries, 3u);
+
+  const auto baseline = run_ft_training(small_config(GetParam()));
+  expect_bit_identical(baseline, crashed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CrashRecovery,
+                         ::testing::Values(core::FtMode::kFull,
+                                           core::FtMode::kIncremental));
+
+TEST(CrashRecovery, IncrementalWritesFewerBytesThanFull) {
+  const auto full = run_ft_training(small_config(core::FtMode::kFull));
+  const auto inc = run_ft_training(small_config(core::FtMode::kIncremental));
+  EXPECT_LT(inc.checkpoint.bytes_written, full.checkpoint.bytes_written);
+  // Same number of checkpoints, same durable coverage.
+  EXPECT_EQ(inc.checkpoint.checkpoints, full.checkpoint.checkpoints);
+  // The hidden-by-overlap accounting must never exceed the media time.
+  EXPECT_LE(inc.checkpoint.exposed_time, inc.checkpoint.media_time + 1e-12);
+  EXPECT_LT(inc.checkpoint.exposed_time, full.checkpoint.exposed_time);
+}
+
+// --------------------------------------------------------- other faults ----
+
+TEST(FaultTolerance, LinkDownWindowDelaysTraffic) {
+  auto cfg = small_config(core::FtMode::kOff);
+  const auto baseline = run_ft_training(cfg);
+
+  auto down_cfg = small_config(core::FtMode::kOff);
+  down_cfg.faults.link_down.push_back({baseline.wall_time * 0.25,
+                                       baseline.wall_time * 0.10});
+  const auto down = run_ft_training(down_cfg);
+  EXPECT_GT(down.faults.packets_delayed, 0u);
+  EXPECT_GT(down.wall_time, baseline.wall_time);
+}
+
+TEST(FaultTolerance, PoisonedLinesAreScrubbedFromMaster) {
+  auto cfg = small_config(core::FtMode::kFull);
+  cfg.faults.poison = {{5, 3}, {9, 40}};
+  const auto res = run_ft_training(cfg);
+  EXPECT_EQ(res.faults.poisoned_lines, 2u);
+  EXPECT_EQ(res.recovery.scrubbed_lines, 2u);
+  EXPECT_EQ(res.steps_completed, cfg.steps);
+}
+
+TEST(FaultTolerance, FlakyLinkCrashTriggersDbaOffDegradedMode) {
+  auto cfg = small_config(core::FtMode::kFull);
+  cfg.faults.bit_error_rate = 1e-5;
+  cfg.faults.crash_steps = {10};
+  const auto res = run_ft_training(cfg);
+  EXPECT_EQ(res.recovery.recoveries, 1u);
+  EXPECT_EQ(res.final_degraded, DegradedMode::kDbaOff);
+  EXPECT_EQ(res.steps_completed, cfg.steps);
+}
+
+TEST(FaultTolerance, RetrainWindowCrashFallsBackToInvalidation) {
+  auto cfg = small_config(core::FtMode::kFull);
+  // An upcoming retrain window (within the flakiness lookahead, but past
+  // the end of the run so it never perturbs timing) marks the link flaky.
+  cfg.faults.link_down.push_back({sim::ms(500.0), sim::ms(1.0)});
+  cfg.faults.crash_steps = {11};
+  const auto res = run_ft_training(cfg);
+  EXPECT_EQ(res.recovery.recoveries, 1u);
+  EXPECT_EQ(res.final_degraded, DegradedMode::kInvalidation);
+  EXPECT_EQ(res.steps_completed, cfg.steps);
+}
+
+TEST(FaultTolerance, DegradedModeCanBeDisallowed) {
+  auto cfg = small_config(core::FtMode::kFull);
+  cfg.faults.bit_error_rate = 1e-5;
+  cfg.faults.crash_steps = {10};
+  cfg.allow_degraded = false;
+  const auto res = run_ft_training(cfg);
+  EXPECT_EQ(res.final_degraded, DegradedMode::kNone);
+}
+
+TEST(FaultTolerance, MtbfSampledCrashesRecoverToo) {
+  auto cfg = small_config(core::FtMode::kIncremental);
+  const auto base = run_ft_training(cfg);
+  cfg.faults.seed = 21;
+  cfg.faults.mtbf = base.wall_time / 3.0;
+  cfg.faults.mtbf_horizon = base.wall_time;
+  const auto res = run_ft_training(cfg);
+  EXPECT_GT(res.recovery.recoveries, 0u);
+  EXPECT_EQ(res.steps_completed, cfg.steps);
+  expect_bit_identical(base, res);
+}
+
+TEST(FaultTolerance, GanttShowsFaultLanes) {
+  auto cfg = small_config(core::FtMode::kFull);
+  cfg.faults.crash_steps = {14};
+  const auto res = run_ft_training(cfg);
+  EXPECT_NE(res.gantt.find("train"), std::string::npos);
+  EXPECT_NE(res.gantt.find("pmem"), std::string::npos);
+  EXPECT_NE(res.gantt.find("restore"), std::string::npos);
+  EXPECT_NE(res.gantt.find("fault"), std::string::npos);
+}
+
+// --------------------------------------------------------- step model ----
+
+TEST(FtStepModel, CheckpointCostsScaleWithModel) {
+  offload::Calibration cal;
+  dl::ModelConfig m;
+  m.n_params = 1'000'000;
+  const auto c = offload::checkpoint_costs(m, cal);
+  EXPECT_EQ(c.full_bytes, m.param_bytes() * 3);
+  EXPECT_GT(c.full_write, 0.0);
+  EXPECT_GT(c.restore, 0.0);
+}
+
+TEST(FtStepModel, OverheadDecreasesWithMtbf) {
+  const auto frequent =
+      offload::expected_ft_overhead(0.1, 10, 0.05, 0.2, 100.0);
+  const auto rare =
+      offload::expected_ft_overhead(0.1, 10, 0.05, 0.2, 10'000.0);
+  EXPECT_GT(frequent.overhead_fraction, rare.overhead_fraction);
+  EXPECT_DOUBLE_EQ(frequent.ckpt_per_step, 0.005);
+  // Half the interval (plus amortized checkpoint) is lost on average.
+  EXPECT_DOUBLE_EQ(frequent.expected_lost_work, 10.0 * 0.105 / 2.0);
+}
+
+}  // namespace
+}  // namespace teco::ft

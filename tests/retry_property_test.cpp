@@ -1,0 +1,129 @@
+// Property test: the executable Monte-Carlo retry path in cxl::Channel
+// converges to the analytic RetryModel. The empirical transmissions-per-
+// flit ((flits + retried_flits) / flits) must approach
+// expected_transmissions(), and hence the empirical throughput derate must
+// approach throughput_derate(), for any seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cxl/channel.hpp"
+#include "cxl/packet.hpp"
+#include "cxl/reliability.hpp"
+#include "sim/time.hpp"
+
+namespace teco {
+namespace {
+
+constexpr double kBandwidth = 16.0 * sim::kGBps;
+constexpr sim::Time kLatency = sim::ns(400);
+
+cxl::Packet line_packet() {
+  return cxl::data_packet(cxl::MessageType::kFlushData, 0x1000, 64);
+}
+
+class RetryConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetryConvergence, StreamPathMatchesAnalyticModel) {
+  cxl::RetryModel model;
+  model.bit_error_rate = 1e-4;
+  cxl::Channel ch("retry", kBandwidth, kLatency);
+  ch.enable_retry(model, GetParam());
+
+  // 64-byte lines are exactly one flit each, so flit counts are exact.
+  constexpr std::uint64_t kFlits = 400'000;
+  ch.submit_stream(0.0, line_packet(), kFlits);
+
+  const auto& st = ch.stats();
+  ASSERT_EQ(st.flits, kFlits);
+  const double empirical_tx =
+      static_cast<double>(st.flits + st.retried_flits) /
+      static_cast<double>(st.flits);
+  const double expected_tx = model.expected_transmissions();
+  // Binomial noise at this sample size is well under 1 %.
+  EXPECT_NEAR(empirical_tx, expected_tx, 0.01 * (expected_tx - 1.0) * 5.0);
+
+  const double empirical_derate =
+      static_cast<double>(st.flits) /
+      static_cast<double>(st.flits + st.retried_flits);
+  EXPECT_NEAR(empirical_derate, model.throughput_derate(), 5e-3);
+}
+
+TEST_P(RetryConvergence, PerPacketPathMatchesAnalyticModel) {
+  cxl::RetryModel model;
+  model.bit_error_rate = 2e-4;
+  cxl::Channel ch("retry", kBandwidth, kLatency);
+  ch.enable_retry(model, GetParam() + 17);
+
+  constexpr std::uint64_t kPackets = 60'000;
+  sim::Time t = 0.0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    t = ch.submit(t, line_packet()).finished;
+  }
+  const auto& st = ch.stats();
+  ASSERT_EQ(st.flits, kPackets);
+  const double empirical_tx =
+      static_cast<double>(st.flits + st.retried_flits) /
+      static_cast<double>(st.flits);
+  const double excess = model.expected_transmissions() - 1.0;
+  EXPECT_NEAR(empirical_tx - 1.0, excess, 0.10 * excess);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryConvergence,
+                         ::testing::Values(1u, 2u, 42u, 0xfeedu));
+
+TEST(RetryPath, DeterministicUnderSameSeed) {
+  cxl::RetryModel model;
+  model.bit_error_rate = 1e-4;
+  auto run = [&] {
+    cxl::Channel ch("retry", kBandwidth, kLatency);
+    ch.enable_retry(model, 7);
+    ch.submit_stream(0.0, line_packet(), 50'000);
+    return ch.stats().retried_flits;
+  };
+  const auto a = run();
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(a, run());
+}
+
+TEST(RetryPath, SpecBerIsEffectivelyFree) {
+  cxl::RetryModel model;  // 1e-12 spec target.
+  cxl::Channel ch("retry", kBandwidth, kLatency);
+  ch.enable_retry(model, 3);
+  ch.submit_stream(0.0, line_packet(), 1'000'000);
+  EXPECT_EQ(ch.stats().retried_flits, 0u);
+  EXPECT_EQ(ch.stats().retry_time, 0.0);
+}
+
+TEST(RetryPath, RetryTimeExtendsBusyTimeConsistently) {
+  cxl::RetryModel model;
+  model.bit_error_rate = 1e-4;
+
+  cxl::Channel plain("plain", kBandwidth, kLatency);
+  plain.submit_stream(0.0, line_packet(), 100'000);
+
+  cxl::Channel retried("retried", kBandwidth, kLatency);
+  retried.enable_retry(model, 11);
+  retried.submit_stream(0.0, line_packet(), 100'000);
+
+  const auto& pr = plain.stats();
+  const auto& rr = retried.stats();
+  EXPECT_GT(rr.retry_time, 0.0);
+  EXPECT_DOUBLE_EQ(rr.busy_time, pr.busy_time + rr.retry_time);
+  EXPECT_GT(rr.last_finish, pr.last_finish);
+}
+
+TEST(RetryPath, DisableRestoresCleanTiming) {
+  cxl::RetryModel model;
+  model.bit_error_rate = 1e-3;
+  cxl::Channel ch("retry", kBandwidth, kLatency);
+  ch.enable_retry(model, 5);
+  EXPECT_TRUE(ch.retry_enabled());
+  ch.disable_retry();
+  EXPECT_FALSE(ch.retry_enabled());
+  ch.submit_stream(0.0, line_packet(), 10'000);
+  EXPECT_EQ(ch.stats().retried_flits, 0u);
+}
+
+}  // namespace
+}  // namespace teco
