@@ -10,18 +10,35 @@
 //      of delayed updates (and the convergence risk the paper cites)?
 //  A6  Pacing granularity: the timeline's chunk count must not matter
 //      (model-robustness check).
+//
+// TECO_SMOKE=1 trims each sweep to its endpoints for CI smoke runs.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "core/report.hpp"
 #include "cxl/reliability.hpp"
 #include "dl/model_zoo.hpp"
 #include "offload/experiments.hpp"
 
+namespace {
+
+/// Sweep endpoints only under TECO_SMOKE=1.
+template <typename T>
+std::vector<T> sweep(std::vector<T> full, bool smoke) {
+  if (smoke && full.size() > 2) return {full.front(), full.back()};
+  return full;
+}
+
+}  // namespace
+
 int main() {
   using namespace teco;
   const auto& cal = offload::default_calibration();
   const auto model = dl::bert_large_cased();
+  const char* smoke_env = std::getenv("TECO_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
 
   {
     core::TextTable t("A1: interconnect generation (Bert-large, batch 4)");
@@ -51,7 +68,7 @@ int main() {
                   "speedup"});
     const auto base = offload::simulate_step(
         offload::RuntimeKind::kZeroOffload, model, 4, cal);
-    for (std::uint8_t n = 1; n <= 4; ++n) {
+    for (const std::uint8_t n : sweep<std::uint8_t>({1, 2, 3, 4}, smoke)) {
       offload::StepOptions opts;
       opts.dirty_bytes = n;
       const auto s = offload::simulate_step(
@@ -71,7 +88,8 @@ int main() {
     core::TextTable t("A3: ZeRO-Offload gradient-buffer size "
                       "(Bert-large, batch 4)");
     t.set_header({"buffer", "grad xfer exposed", "baseline step"});
-    for (const std::uint64_t mib : {32ull, 64ull, 128ull, 256ull}) {
+    for (const std::uint64_t mib :
+         sweep<std::uint64_t>({32, 64, 128, 256}, smoke)) {
       offload::StepInputs in =
           offload::compute_step_inputs(model, 4, cal);
       in.grad_buffer_bytes = mib << 20;
@@ -103,7 +121,8 @@ int main() {
     t.set_header({"queue entries", "invalidation step", "vs update"});
     const auto upd = offload::simulate_step(offload::RuntimeKind::kTecoCxl,
                                             dl::t5_large(), 4, cal);
-    for (const std::size_t q : {32ul, 64ul, 128ul, 256ul, 512ul}) {
+    for (const std::size_t q :
+         sweep<std::size_t>({32, 64, 128, 256, 512}, smoke)) {
       auto c = cal;
       c.cxl_queue_entries = q;
       const auto inv = offload::simulate_step(
@@ -142,7 +161,8 @@ int main() {
                       "TECO-Reduction)");
     t.set_header({"chunks", "step total"});
     double first = 0.0;
-    for (const std::size_t chunks : {16ul, 64ul, 128ul, 512ul}) {
+    for (const std::size_t chunks :
+         sweep<std::size_t>({16, 64, 128, 512}, smoke)) {
       auto c = cal;
       c.pacing_chunks = chunks;
       const auto s = offload::simulate_step(

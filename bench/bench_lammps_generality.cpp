@@ -4,7 +4,9 @@
 // the required characteristics — iterative structure and low-byte position
 // updates; (2) the offload timeline: paper reports 27% communication share,
 // 21.5% improvement from TECO (78% CXL / 22% DBA) and 17% volume reduction.
+// TECO_SMOKE=1 shrinks the MD box (4^3 cells) and the run to 10 steps.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/report.hpp"
 #include "dl/byte_stats.hpp"
@@ -14,20 +16,24 @@
 
 int main() {
   using namespace teco;
+  const char* smoke_env = std::getenv("TECO_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
 
   // Part 1: real physics, small box.
   md::LjConfig cfg;
-  cfg.fcc_cells = 6;  // 864 atoms.
+  cfg.fcc_cells = smoke ? 4 : 6;  // 256 / 864 atoms.
+  const int warm_steps = smoke ? 10 : 50;
   md::LjSystem sys(cfg);
   const double e0 = sys.total_energy();
-  sys.run(50);
+  sys.run(warm_steps);
   const auto pos_prev = sys.positions_f32();
   const auto force_prev = sys.forces_f32();
   sys.step();
   const auto ps = dl::compare_arrays(pos_prev, sys.positions_f32());
   const auto fs = dl::compare_arrays(force_prev, sys.forces_f32());
-  std::printf("LJ melt (864 atoms, rho=0.8442, T*=1.44): energy drift over "
-              "51 steps = %.3e (relative)\n",
+  std::printf("LJ melt (%zu atoms, rho=0.8442, T*=1.44): energy drift over "
+              "%d steps = %.3e (relative)\n",
+              sys.n(), warm_steps + 1,
               std::abs(sys.total_energy() - e0) / std::abs(e0));
   std::printf("Per-step byte changes: positions %.1f%% low-2-bytes / "
               "forces %.1f%% -> DBA applies to positions only.\n\n",

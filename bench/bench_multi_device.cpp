@@ -4,7 +4,10 @@
 // batch is convergence-capped, so adding GPUs shrinks the per-GPU batch
 // and communication dominates (Section II-A, the argument against DPU).
 // This bench quantifies that: fixed global batch, growing device count.
+// TECO_SMOKE=1 trims the sweep to one model and two device counts.
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "core/report.hpp"
 #include "dl/model_zoo.hpp"
@@ -13,13 +16,20 @@
 int main() {
   using namespace teco;
   const auto& cal = offload::default_calibration();
+  const char* smoke_env = std::getenv("TECO_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+  std::vector<dl::ModelConfig> models = {dl::bert_large_cased()};
+  if (!smoke) models.push_back(dl::t5_large());
+  const std::vector<std::uint32_t> device_counts =
+      smoke ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4, 8};
 
-  for (const auto& model : {dl::bert_large_cased(), dl::t5_large()}) {
+  for (const auto& model : models) {
     core::TextTable t("Strong scaling at fixed global batch 32: " +
                       model.name);
     t.set_header({"devices", "per-dev batch", "ZeRO-Offload step",
                   "TECO-Red step", "speedup", "baseline comm share"});
-    const auto pts = offload::scaling_sweep(model, 32, {1, 2, 4, 8}, cal);
+    const auto pts = offload::scaling_sweep(model, 32, device_counts, cal);
     for (const auto& p : pts) {
       t.add_row({std::to_string(p.devices),
                  std::to_string(32 / p.devices) +

@@ -6,7 +6,10 @@
 // the protocol stack and the closed-form timeline agree, that DBA halves
 // only the parameter direction, and that the invalidation fallback both
 // exposes transfers and resurrects the snoop filter.
+// TECO_SMOKE=1 replays 10k lines instead of 100k for CI smoke runs.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/report.hpp"
 #include "offload/calibration.hpp"
@@ -15,17 +18,21 @@
 int main() {
   using namespace teco;
   const auto& cal = offload::default_calibration();
+  const char* smoke_env = std::getenv("TECO_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+  const std::uint64_t lines = smoke ? 10'000 : 100'000;
 
   offload::ReplayStepConfig cfg;
-  cfg.param_lines = 100'000;  // 6.4 MB of parameters, scaled down.
-  cfg.grad_lines = 100'000;
+  cfg.param_lines = lines;  // 6.4 MB of parameters at full scale.
+  cfg.grad_lines = lines;
   cfg.forward = sim::ms(8);
   cfg.backward = sim::ms(16);
   cfg.grad_clip = sim::ms(2);
   cfg.adam = sim::ms(7);
 
-  core::TextTable t("Trace replay through HomeAgent + Link (100k lines "
-                    "per tensor, shuffled writeback order)");
+  core::TextTable t("Trace replay through HomeAgent + Link (" +
+                    std::to_string(lines / 1000) +
+                    "k lines per tensor, shuffled writeback order)");
   t.set_header({"Configuration", "grad exposed", "param exposed",
                 "step total", "to device", "to CPU", "snoop peak"});
   auto row = [&](const char* name, const offload::ReplayResult& r) {

@@ -1,21 +1,37 @@
 // Fine-tuning a large transformer with tensor offloading: what does a
 // training step cost under each runtime?
 //
-// Usage: ./bert_finetune [model-name] [batch]
+// Usage: ./bert_finetune [model-name] [batch] [--json trace.json]
 //   model-name: GPT2 | Albert-xxlarge-v1 | Bert-large-cased | T5-large |
 //               GCNII | GPT2-Medium | GPT2-Large | GPT2-11B
 //   default: Bert-large-cased, batch 4 (the paper's motivation setup).
+//   --json additionally exports the two step timelines as Chrome
+//   trace_event JSON (chrome://tracing, ui.perfetto.dev).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/teco.hpp"
+#include "core/trace_export.hpp"
 
 int main(int argc, char** argv) {
   using namespace teco;
-  const std::string name = argc > 1 ? argv[1] : "Bert-large-cased";
+  std::vector<std::string> pos;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  const std::string name = !pos.empty() ? pos[0] : "Bert-large-cased";
   const auto batch =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4u;
+      pos.size() > 1 ? static_cast<std::uint32_t>(std::atoi(pos[1].c_str()))
+                     : 4u;
 
   dl::ModelConfig model;
   try {
@@ -61,12 +77,29 @@ int main(int argc, char** argv) {
   std::fputs(t.to_string().c_str(), stdout);
 
   // Visualize the overlap structure of the two extremes.
+  std::string trace_json = "[";
+  int pid = 0;
   for (const auto kind : {offload::RuntimeKind::kZeroOffload,
                           offload::RuntimeKind::kTecoReduction}) {
     std::printf("\nTimeline (%s):\n",
                 std::string(offload::to_string(kind)).c_str());
-    std::fputs(core::step_gantt(kind, model, batch, cal).render().c_str(),
-               stdout);
+    const auto g = core::step_gantt(kind, model, batch, cal);
+    std::fputs(g.render().c_str(), stdout);
+    if (!json_path.empty()) {
+      // Splice both runtimes into one trace (one viewer "process" each):
+      // strip each fragment's array brackets and concatenate.
+      auto frag = core::to_chrome_trace_json(
+          g, model.name + " / " + std::string(offload::to_string(kind)), {},
+          ++pid);
+      frag = frag.substr(1, frag.find_last_of(']') - 1);
+      if (trace_json.size() > 1) trace_json += ",";
+      trace_json += frag;
+    }
+  }
+  if (!json_path.empty()) {
+    trace_json += "]\n";
+    std::ofstream(json_path) << trace_json;
+    std::printf("\nChrome trace written to %s\n", json_path.c_str());
   }
 
   const auto vol = offload::volume_report(offload::RuntimeKind::kTecoReduction,

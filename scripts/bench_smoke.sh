@@ -2,8 +2,11 @@
 # Smoke-run every bench binary: each must exit 0 and produce output.
 #
 # TECO_SMOKE=1 asks the heavier benches (loss curves, accuracy tables,
-# activation sweeps, bench_ft_recovery) to shrink their step counts; the
+# activation/tier sweeps, trace replay, multi-device scaling, the LJ melt,
+# the ablation sweeps, bench_ft_recovery) to shrink their work; the
 # google-benchmark binary is capped with --benchmark_min_time instead.
+# bench_tier_activation additionally smoke-tests the Chrome trace exporter
+# (--json into a temp file that must be non-empty).
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -23,18 +26,26 @@ for b in "${bench_dir}"/bench_*; do
   [ -x "${b}" ] || continue
   name="$(basename "${b}")"
   args=()
+  trace_json=""
   if [ "${name}" = "bench_micro_link" ]; then
     args=(--benchmark_min_time=0.01)
+  elif [ "${name}" = "bench_tier_activation" ]; then
+    trace_json="$(mktemp)"
+    args=(--json "${trace_json}")
   fi
   start=$(date +%s%N)
   if out="$("${b}" "${args[@]}" 2>&1)"; then
     if [ -z "${out}" ]; then
       echo "FAIL ${name}: produced no output"
       failures=$((failures + 1))
+    elif [ -n "${trace_json}" ] && [ ! -s "${trace_json}" ]; then
+      echo "FAIL ${name}: --json produced an empty trace"
+      failures=$((failures + 1))
     else
       end=$(date +%s%N)
       printf 'ok   %-34s %6d ms\n' "${name}" $(((end - start) / 1000000))
     fi
+    [ -n "${trace_json}" ] && rm -f "${trace_json}"
   else
     echo "FAIL ${name}: exit $?"
     printf '%s\n' "${out}" | tail -20

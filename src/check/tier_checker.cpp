@@ -1,0 +1,77 @@
+#include "check/tier_checker.hpp"
+
+#include <cstdio>
+
+namespace teco::check {
+
+namespace {
+
+std::string fmt_time(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f s", t);
+  return buf;
+}
+
+}  // namespace
+
+void TierInvariantChecker::fail(const std::string& what) {
+  ++violations_;
+  log_.push_back(what);
+  if (level_ == CheckLevel::kStrict) throw TierViolation(what);
+}
+
+void TierInvariantChecker::on_tier_migration(sim::Time issued,
+                                             std::uint32_t tensor,
+                                             std::uint8_t from,
+                                             std::uint8_t to,
+                                             std::uint64_t bytes,
+                                             sim::Time delivered,
+                                             bool prefetch) {
+  ++migrations_;
+  if (from == to) {
+    fail("T4: migration of tensor " + std::to_string(tensor) +
+         " between identical tiers (" + std::to_string(from) + ")");
+  }
+  if (bytes == 0) {
+    fail("T4: zero-byte migration of tensor " + std::to_string(tensor));
+  }
+  if (delivered < issued) {
+    fail("T4: migration of tensor " + std::to_string(tensor) +
+         " delivered at " + fmt_time(delivered) + " before issue at " +
+         fmt_time(issued));
+  }
+  if (prefetch) pending_fetch_[tensor] = delivered;
+}
+
+void TierInvariantChecker::on_tier_access(sim::Time t, std::uint32_t tensor,
+                                          std::uint8_t resident_tier,
+                                          bool hbm_resident, sim::Time stall) {
+  ++accesses_;
+  const sim::Time served = t + stall;
+  if (const auto it = pending_fetch_.find(tensor);
+      it != pending_fetch_.end()) {
+    // T2: the access may not proceed before the in-flight fetch lands.
+    if (t < it->second && served + 1e-12 < it->second) {
+      fail("T2: tensor " + std::to_string(tensor) + " accessed at " +
+           fmt_time(served) + " before its prefetch delivery at " +
+           fmt_time(it->second) + " without a covering stall");
+    }
+    pending_fetch_.erase(it);
+  }
+  if (!hbm_resident && stall <= 0.0) {
+    fail("T1: tensor " + std::to_string(tensor) +
+         " consumed while resident only in tier " +
+         std::to_string(resident_tier) + " at " + fmt_time(t) +
+         " with no stall charged");
+  }
+}
+
+void TierInvariantChecker::on_tier_occupancy(sim::Time t, std::uint8_t tier,
+                                             std::uint64_t bytes) {
+  if (tier == 0 && hbm_capacity_ > 0 && bytes > hbm_capacity_) {
+    fail("T3: HBM occupancy " + std::to_string(bytes) + " B exceeds budget " +
+         std::to_string(hbm_capacity_) + " B at " + fmt_time(t));
+  }
+}
+
+}  // namespace teco::check

@@ -1,0 +1,99 @@
+// Migration-invariant checking for the teco::tier subsystem.
+//
+// Mirrors the observer.hpp design one level up the stack: the
+// MigrationScheduler carries an optional TierObserver* and reports every
+// migration, compute access and occupancy change; the TierInvariantChecker
+// enforces the tiering contract the docs promise:
+//
+//  T1  Residency — a tensor is never consumed while resident only in a
+//      lower tier: either it is HBM-resident at access time, or the
+//      scheduler charged a stall that covers the in-flight fetch.
+//  T2  Prefetch deadline — a prefetch completes before its first consumer
+//      access, or that access is stalled until the delivery time. An
+//      access that proceeds before the recorded delivery is a violation.
+//  T3  Capacity — HBM occupancy never exceeds the configured budget
+//      (checked only when a budget is supplied; transient produce-then-
+//      evict spikes are a planner property benches may want to observe
+//      rather than fail on).
+//  T4  Conservation — migrations move between distinct tiers, carry
+//      non-zero bytes, and never deliver before they are issued.
+//
+// The interface deliberately carries raw std::uint8_t tier values so
+// teco_check stays below teco_tier in the link order, exactly as
+// observer.hpp stays below teco_coherence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/protocol_checker.hpp"
+#include "sim/time.hpp"
+
+namespace teco::check {
+
+class TierObserver {
+ public:
+  virtual ~TierObserver() = default;
+
+  /// A migration was issued at `issued` and lands at `delivered`.
+  /// `prefetch` distinguishes fetch-toward-HBM from eviction.
+  virtual void on_tier_migration(sim::Time /*issued*/, std::uint32_t /*tensor*/,
+                                 std::uint8_t /*from*/, std::uint8_t /*to*/,
+                                 std::uint64_t /*bytes*/,
+                                 sim::Time /*delivered*/, bool /*prefetch*/) {}
+
+  /// A compute phase requested `tensor` at `t`. `hbm_resident` is the
+  /// residency at request time; `stall` is how long the scheduler pushed
+  /// compute back to satisfy the access (0 when served immediately).
+  virtual void on_tier_access(sim::Time /*t*/, std::uint32_t /*tensor*/,
+                              std::uint8_t /*resident_tier*/,
+                              bool /*hbm_resident*/, sim::Time /*stall*/) {}
+
+  /// Tier `tier` now holds `bytes` (after a produce/free/migration).
+  virtual void on_tier_occupancy(sim::Time /*t*/, std::uint8_t /*tier*/,
+                                 std::uint64_t /*bytes*/) {}
+};
+
+class TierViolation : public std::runtime_error {
+ public:
+  explicit TierViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+class TierInvariantChecker final : public TierObserver {
+ public:
+  /// `hbm_capacity_bytes` == 0 disables the T3 capacity check.
+  explicit TierInvariantChecker(CheckLevel level = CheckLevel::kStrict,
+                                std::uint64_t hbm_capacity_bytes = 0)
+      : level_(level), hbm_capacity_(hbm_capacity_bytes) {}
+
+  void on_tier_migration(sim::Time issued, std::uint32_t tensor,
+                         std::uint8_t from, std::uint8_t to,
+                         std::uint64_t bytes, sim::Time delivered,
+                         bool prefetch) override;
+  void on_tier_access(sim::Time t, std::uint32_t tensor,
+                      std::uint8_t resident_tier, bool hbm_resident,
+                      sim::Time stall) override;
+  void on_tier_occupancy(sim::Time t, std::uint8_t tier,
+                         std::uint64_t bytes) override;
+
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t accesses_checked() const { return accesses_; }
+  std::uint64_t migrations_checked() const { return migrations_; }
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void fail(const std::string& what);
+
+  CheckLevel level_;
+  std::uint64_t hbm_capacity_;
+  /// Pending fetch delivery time per tensor (T2). Erased once checked.
+  std::unordered_map<std::uint32_t, sim::Time> pending_fetch_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace teco::check

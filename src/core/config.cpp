@@ -140,6 +140,26 @@ ParsedConfig parse_config(std::string_view text) {
       } else {
         fail("ft_seed must be a non-negative integer");
       }
+    } else if (key == "tier_policy") {
+      if (const auto p = tier::policy_from_string(value)) {
+        out.session.tier_policy = *p;
+      } else {
+        fail("tier_policy must be all_hbm/naive_swap/min_stall/knapsack");
+      }
+    } else if (key == "tier_hbm_bytes") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v > 0) {
+        out.session.tier_hbm_bytes = v;
+      } else {
+        fail("tier_hbm_bytes must be a positive integer");
+      }
+    } else if (key == "tier_prefetch_depth") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v <= 64) {
+        out.session.tier_prefetch_depth = static_cast<std::size_t>(v);
+      } else {
+        fail("tier_prefetch_depth must be in [0, 64]");
+      }
     } else {
       out.unknown_keys.push_back(key);
     }
@@ -174,6 +194,9 @@ std::string to_config_text(const SessionConfig& cfg) {
   os << "ft_mode = " << to_string(cfg.ft_mode) << "\n";
   os << "ft_checkpoint_interval = " << cfg.ft_checkpoint_interval << "\n";
   os << "ft_seed = " << cfg.ft_seed << "\n";
+  os << "tier_policy = " << tier::to_string(cfg.tier_policy) << "\n";
+  os << "tier_hbm_bytes = " << cfg.tier_hbm_bytes << "\n";
+  os << "tier_prefetch_depth = " << cfg.tier_prefetch_depth << "\n";
   return os.str();
 }
 

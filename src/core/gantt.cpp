@@ -1,6 +1,7 @@
 #include "core/gantt.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <sstream>
 
@@ -17,6 +18,22 @@ void GanttChart::add(std::string lane, char glyph, sim::Time start,
     lane_order_.push_back(lane);
   }
   spans_.push_back(Span{std::move(lane), glyph, start, end});
+}
+
+void GanttChart::add_occupancy(
+    const std::string& lane,
+    const std::vector<std::pair<sim::Time, std::uint64_t>>& points,
+    std::uint64_t capacity, sim::Time t_end) {
+  if (points.empty() || capacity == 0) return;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const sim::Time start = points[i].first;
+    const sim::Time end =
+        i + 1 < points.size() ? points[i + 1].first : t_end;
+    if (end <= start) continue;
+    const std::uint64_t level =
+        std::min<std::uint64_t>(9, points[i].second * 10 / capacity);
+    add(lane, static_cast<char>('0' + level), start, end);
+  }
 }
 
 std::string GanttChart::render(std::size_t width) const {
@@ -88,6 +105,50 @@ GanttChart step_gantt(offload::RuntimeKind kind, const dl::ModelConfig& m,
       teco ? clip_end
            : (kind == RuntimeKind::kCxlInvalidation ? adam_end : adam_end);
   g.add("link down", 'v', param_xfer_start, params_done);
+  return g;
+}
+
+GanttChart activation_gantt(const offload::ActivationStepReport& r,
+                            std::uint64_t hbm_capacity,
+                            std::uint64_t giant_cache_capacity) {
+  GanttChart g;
+  g.add("GPU fwd", 'F', 0.0, r.sched.forward_end);
+  g.add("GPU bwd", 'B', r.sched.forward_end, r.sched.backward_end);
+  for (const auto& [s, e] : r.sched.stalls) g.add("stall", '!', s, e);
+
+  // Migration traffic, split by path: the two CXL directions share the
+  // wire with the gradient/parameter streams; giant-cache copies do not.
+  for (const auto& t : r.sched.transfers) {
+    const bool gc = t.from == tier::Tier::kGiantCache ||
+                    t.to == tier::Tier::kGiantCache;
+    if (gc) {
+      g.add("giant$ cp", 'g', t.start, t.end);
+    } else if (t.to == tier::Tier::kHbm) {
+      g.add("mig down", 'p', t.start, t.end);
+    } else {
+      g.add("mig up", 'e', t.start, t.end);
+    }
+  }
+
+  const sim::Time bwd_end = r.sched.backward_end;
+  const sim::Time grads_done = bwd_end + r.grad_transfer_exposed;
+  g.add("link up", '^', r.sched.forward_end, grads_done);
+  const sim::Time clip_end = grads_done + r.grad_optimizer;
+  const sim::Time adam_end = clip_end + r.param_optimizer;
+  g.add("CPU clip", 'c', grads_done, clip_end);
+  g.add("CPU adam", 'A', clip_end, adam_end);
+  g.add("link down", 'v', clip_end, adam_end + r.param_transfer_exposed);
+
+  const sim::Time t_end = adam_end + r.param_transfer_exposed;
+  const std::array<std::uint64_t, tier::kTierCount> caps = {
+      hbm_capacity, giant_cache_capacity,
+      r.profile.peak_live_bytes()};  // CXL lane scaled to the working set.
+  for (std::size_t i = 0; i < tier::kTierCount; ++i) {
+    g.add_occupancy(std::string("occ ") +
+                        std::string(tier::to_string(
+                            static_cast<tier::Tier>(i))),
+                    r.sched.occupancy[i].points, caps[i], t_end);
+  }
   return g;
 }
 

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dl/model_zoo.hpp"
+#include "offload/activation_timeline.hpp"
 #include "offload/calibration.hpp"
 #include "offload/runtime.hpp"
 #include "sim/time.hpp"
@@ -19,19 +21,29 @@ namespace teco::core {
 
 class GanttChart {
  public:
-  void add(std::string lane, char glyph, sim::Time start, sim::Time end);
-
-  /// Render all lanes over [0, max_end] scaled to `width` columns.
-  std::string render(std::size_t width = 72) const;
-
-  sim::Time span_end() const { return max_end_; }
-
- private:
   struct Span {
     std::string lane;
     char glyph;
     sim::Time start, end;
   };
+
+  void add(std::string lane, char glyph, sim::Time start, sim::Time end);
+
+  /// Add a per-tier occupancy lane from a byte step function: each segment
+  /// renders as a digit 0-9, the occupancy as a fraction of `capacity` (a
+  /// poor man's area chart; the trace exporter emits the raw counters).
+  void add_occupancy(const std::string& lane,
+                     const std::vector<std::pair<sim::Time, std::uint64_t>>&
+                         points,
+                     std::uint64_t capacity, sim::Time t_end);
+
+  /// Render all lanes over [0, max_end] scaled to `width` columns.
+  std::string render(std::size_t width = 72) const;
+
+  sim::Time span_end() const { return max_end_; }
+  const std::vector<Span>& spans() const { return spans_; }
+
+ private:
   std::vector<Span> spans_;
   std::vector<std::string> lane_order_;
   sim::Time max_end_ = 0.0;
@@ -41,5 +53,11 @@ class GanttChart {
 /// from the same phase schedule the timeline simulator uses.
 GanttChart step_gantt(offload::RuntimeKind kind, const dl::ModelConfig& m,
                       std::uint32_t batch, const offload::Calibration& cal);
+
+/// Gantt of one tiered-activation step: compute slots, fetch stalls,
+/// migration traffic per link direction, and a per-tier occupancy lane.
+GanttChart activation_gantt(const offload::ActivationStepReport& r,
+                            std::uint64_t hbm_capacity,
+                            std::uint64_t giant_cache_capacity);
 
 }  // namespace teco::core

@@ -20,6 +20,15 @@ std::string_view to_string(FtMode m) {
   __builtin_unreachable();
 }
 
+tier::PlannerConfig tier_planner_config(const SessionConfig& cfg) {
+  tier::PlannerConfig p;
+  p.policy = cfg.tier_policy;
+  p.hbm_bytes = cfg.tier_hbm_bytes;
+  p.giant_cache_bytes = cfg.giant_cache_capacity;
+  p.prefetch_depth = cfg.tier_prefetch_depth;
+  return p;
+}
+
 Session::Session(SessionConfig cfg)
     : cfg_(cfg), trace_(cfg.enable_trace),
       link_(std::make_unique<cxl::Link>(cfg.phy)),

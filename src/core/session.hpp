@@ -33,6 +33,7 @@
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
 #include "sim/trace.hpp"
+#include "tier/placement_planner.hpp"
 
 namespace teco::core {
 
@@ -76,7 +77,20 @@ struct SessionConfig {
   /// by default, as a real host bridge would decode. Exhaustion throws
   /// instead of silently wrapping into already-mapped regions.
   std::uint64_t addr_space_bytes = 1ull << 48;
+
+  // --- Tensor tiering (teco::tier) ---
+  /// Placement policy for weights + activations across HBM / giant cache /
+  /// CXL DRAM. kAllHbm preserves the pre-tiering behavior (no migrations).
+  tier::Policy tier_policy = tier::Policy::kAllHbm;
+  /// Accelerator HBM capacity the planner fits into.
+  std::uint64_t tier_hbm_bytes = 32ull << 30;
+  /// Compute slots of lookahead the migration scheduler may prefetch.
+  std::size_t tier_prefetch_depth = 2;
 };
+
+/// The tier::PlannerConfig a session's knobs describe (the giant-cache
+/// share reuses giant_cache_capacity).
+tier::PlannerConfig tier_planner_config(const SessionConfig& cfg);
 
 class Session {
  public:

@@ -1,0 +1,94 @@
+#include "core/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace teco::core {
+
+namespace {
+
+/// Minimal JSON string escaping (lane names are ASCII identifiers, but a
+/// quote or backslash must not break the file).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string us(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const GanttChart& g,
+                                 const std::string& process_name,
+                                 const std::vector<CounterSeries>& counters,
+                                 int pid) {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << R"({"name":"process_name","ph":"M","pid":)" << pid << R"(,"tid":0,"args":{"name":")"
+     << json_escape(process_name) << R"("}})";
+
+  // One "thread" per lane, in first-appearance order, so the viewer stacks
+  // the rows the way render() does.
+  std::vector<std::string> lanes;
+  for (const auto& s : g.spans()) {
+    if (std::find(lanes.begin(), lanes.end(), s.lane) == lanes.end()) {
+      lanes.push_back(s.lane);
+    }
+  }
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    sep();
+    os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)" << (i + 1)
+       << R"(,"args":{"name":")" << json_escape(lanes[i]) << R"("}})";
+    sep();
+    os << R"({"name":"thread_sort_index","ph":"M","pid":)" << pid << R"(,"tid":)" << (i + 1)
+       << R"(,"args":{"sort_index":)" << (i + 1) << "}}";
+  }
+
+  for (const auto& s : g.spans()) {
+    const auto lane_it = std::find(lanes.begin(), lanes.end(), s.lane);
+    const std::size_t tid =
+        static_cast<std::size_t>(lane_it - lanes.begin()) + 1;
+    sep();
+    os << R"({"name":")" << json_escape(std::string(1, s.glyph))
+       << R"(","cat":")" << json_escape(s.lane) << R"(","ph":"X","pid":)" << pid << R"(,)"
+       << R"("tid":)" << tid << R"(,"ts":)" << us(s.start) << R"(,"dur":)"
+       << us(std::max(0.0, s.end - s.start)) << "}";
+  }
+
+  for (const auto& c : counters) {
+    for (const auto& [t, v] : c.points) {
+      sep();
+      os << R"({"name":")" << json_escape(c.name)
+         << R"(","ph":"C","pid":)" << pid << R"(,"ts":)" << us(t) << R"(,"args":{"bytes":)"
+         << v << "}}";
+    }
+  }
+
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace teco::core

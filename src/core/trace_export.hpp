@@ -1,0 +1,36 @@
+// Chrome trace_event JSON export of a GanttChart.
+//
+// Emits the JSON Array Format the Chrome tracing ecosystem consumes
+// (chrome://tracing, https://ui.perfetto.dev): each Gantt lane becomes a
+// named "thread" carrying complete ("X") duration events, and optional
+// counter series — the per-tier occupancy curves — become "C" events that
+// render as area charts. Times are exported in microseconds, the format's
+// native unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gantt.hpp"
+#include "sim/time.hpp"
+
+namespace teco::core {
+
+/// A named counter track (e.g. "HBM bytes" over the step).
+struct CounterSeries {
+  std::string name;
+  std::vector<std::pair<sim::Time, std::uint64_t>> points;
+};
+
+/// Serialize `g` (plus optional counters) as a Chrome trace_event JSON
+/// array. `process_name` labels the process row in the viewer. Give each
+/// chart its own `pid` when splicing several exports into one file.
+std::string to_chrome_trace_json(const GanttChart& g,
+                                 const std::string& process_name,
+                                 const std::vector<CounterSeries>& counters =
+                                     {},
+                                 int pid = 1);
+
+}  // namespace teco::core

@@ -18,6 +18,23 @@ std::uint64_t ModelConfig::giant_cache_requirement() const {
   return n_params * 2 + n_params * 7 / 10;
 }
 
+double ModelConfig::activation_bytes_per_layer(std::uint32_t batch) const {
+  const double tokens = static_cast<double>(batch) * seq_len;
+  return tokens * hidden_size * 80.0;
+}
+
+double ModelConfig::activation_bytes(std::uint32_t batch,
+                                     bool checkpointing) const {
+  const double tokens = static_cast<double>(batch) * seq_len;
+  const double units = tokens * hidden_size * n_layers;
+  if (checkpointing) {
+    // Layer inputs only, plus one layer's full activations of recompute
+    // working space.
+    return units * 2.0 + tokens * hidden_size * 80.0;
+  }
+  return units * 80.0;
+}
+
 std::uint64_t ModelConfig::gradient_buffer_bytes() const {
   // DeepSpeed's default reduce-bucket sizing is a few hundred MB; scale it
   // with the model but cap it, mirroring the configurable buffer the paper

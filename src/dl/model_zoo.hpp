@@ -33,6 +33,15 @@ struct ModelConfig {
 
   std::uint64_t param_bytes() const { return n_params * 4; }
   std::uint64_t gradient_bytes() const { return n_params * 4; }
+  /// Saved-activation footprint of one transformer layer at this batch:
+  /// ~80 B per (token, hidden unit) — attention scores, MLP intermediates,
+  /// layer norms — matching the V100 OOM heuristic in offload::fits_on_gpu.
+  double activation_bytes_per_layer(std::uint32_t batch) const;
+  /// Whole-step saved-activation footprint. With activation checkpointing
+  /// only layer inputs (~2 B/unit) persist, plus one layer of recompute
+  /// working space.
+  double activation_bytes(std::uint32_t batch,
+                          bool checkpointing = false) const;
   /// ZeRO-Offload GPU-side gradient buffer (a configurable fraction of the
   /// gradient size; defaults mirror the DeepSpeed default bucket sizing).
   std::uint64_t gradient_buffer_bytes() const;

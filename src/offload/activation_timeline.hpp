@@ -1,0 +1,71 @@
+// ActivationOffloadTimeline — the sixth runtime timeline: one training step
+// of the TECO update-protocol runtime with lifetime-aware activation and
+// weight tiering layered on top (teco::tier).
+//
+// The five existing timelines treat forward+backward as an opaque compute
+// block; this one replays it layer by layer through tier::MigrationScheduler
+// so activation evictions and prefetches ride the SAME cxl-up / cxl-down
+// channels as the gradient and parameter update streams — migration traffic
+// and protocol traffic contend for link bandwidth instead of being costed
+// independently.
+//
+// The file lives in offload/ with its runtime siblings but is compiled into
+// the teco_tier library (it needs the tier planner/scheduler, which layer
+// above teco_offload).
+#pragma once
+
+#include <cstdint>
+
+#include "check/tier_checker.hpp"
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "offload/runtime.hpp"
+#include "offload/step_model.hpp"
+#include "tier/lifetime_profiler.hpp"
+#include "tier/migration_scheduler.hpp"
+#include "tier/placement_planner.hpp"
+
+namespace teco::offload {
+
+struct ActivationTimelineOptions {
+  tier::Policy policy = tier::Policy::kMinStall;
+  /// Accelerator HBM capacity. The planner budget is this minus the
+  /// non-tierable residents (ZeRO-Offload gradient buffer).
+  std::uint64_t hbm_bytes = 16ull << 30;
+  std::uint64_t giant_cache_bytes = 4ull << 30;
+  std::size_t prefetch_depth = 2;
+  std::uint8_t dirty_bytes = 2;  ///< DBA payload on the parameter stream.
+  /// Optional invariant observer (e.g. check::TierInvariantChecker).
+  check::TierObserver* observer = nullptr;
+};
+
+struct ActivationStepReport {
+  /// The corrected all-HBM memory check at the configured budget: whether
+  /// keeping everything resident would OOM (batch x seq_len aware).
+  GpuMemoryCheck memory;
+  bool hbm_oom = false;
+
+  tier::StepProfile profile;
+  tier::TierPlan plan;
+  tier::ScheduleResult sched;
+
+  sim::Time forward_backward = 0.0;  ///< Compute + migration stalls.
+  sim::Time grad_transfer_exposed = 0.0;
+  sim::Time grad_optimizer = 0.0;
+  sim::Time param_optimizer = 0.0;
+  sim::Time param_transfer_exposed = 0.0;
+  sim::Time step_total = 0.0;
+
+  std::uint64_t bytes_to_cpu = 0;     ///< Wire volume up (grads+evictions).
+  std::uint64_t bytes_to_device = 0;  ///< Wire volume down (params+fetches).
+
+  sim::Time stall_time() const { return sched.stall_time; }
+  std::uint64_t migrated_bytes() const { return sched.migrated_bytes(); }
+};
+
+/// Simulate one steady-state training step with tiered activations.
+ActivationStepReport simulate_activation_step(
+    const dl::ModelConfig& m, std::uint32_t batch, const Calibration& cal,
+    const ActivationTimelineOptions& opts = {});
+
+}  // namespace teco::offload

@@ -48,6 +48,13 @@ struct Calibration {
   /// submitted in this many paced chunks per phase.
   std::size_t pacing_chunks = 128;
 
+  /// HBM <-> giant-cache migration path (teco::tier): a device-local copy
+  /// through the resizable-BAR window — far faster than a CXL crossing but
+  /// not free. Bandwidth is PCIe-BAR-window-limited, latency covers the
+  /// doorbell + DMA setup per tensor.
+  double hbm_gc_copy_bw = 100e9;
+  sim::Time hbm_gc_copy_latency = sim::us(5);
+
   /// Aggregator/Disaggregator pipeline latency charged end-to-end
   /// (Section VIII-D: 1 ns, amortized by pipelining).
   sim::Time dba_latency = sim::ns(1.0);

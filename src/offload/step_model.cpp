@@ -56,25 +56,28 @@ StepInputs compute_step_inputs(const dl::ModelConfig& m, std::uint32_t batch,
   return in;
 }
 
+GpuMemoryCheck check_gpu_memory(const dl::ModelConfig& m, std::uint32_t batch,
+                                std::uint64_t gpu_bytes,
+                                bool checkpointing) {
+  GpuMemoryCheck c;
+  // ZeRO-Offload keeps FP16 parameters + the gradient buffer on the GPU;
+  // the activation term grows with batch x seq_len (dl::ModelConfig owns
+  // the footprint formula so the tier profiler sees the same bytes).
+  c.params_fp16 = m.n_params * 2;
+  c.grad_buffer = m.gradient_buffer_bytes();
+  c.activation_bytes = m.activation_bytes(batch, checkpointing);
+  c.budget = gpu_bytes;
+  c.fits = c.total() <= static_cast<double>(gpu_bytes);
+  return c;
+}
+
 bool fits_on_gpu(const dl::ModelConfig& m, std::uint32_t batch,
                  std::uint64_t gpu_bytes) {
-  // ZeRO-Offload keeps FP16 parameters + the gradient buffer on the GPU.
-  const std::uint64_t params_fp16 = m.n_params * 2;
-  // Activation footprint: ~80 B per (token, layer, hidden-unit/1) without
-  // checkpointing; billion-scale models enable activation checkpointing
-  // (store layer inputs only, ~2 B, + one layer of recompute space).
-  const double tokens = static_cast<double>(batch) * m.seq_len;
-  const double units = tokens * m.hidden_size * m.n_layers;
-  double act_bytes;
-  if (m.n_params > 1'000'000'000ull) {
-    act_bytes = units * 2.0 + tokens * m.hidden_size * 80.0;
-  } else {
-    act_bytes = units * 80.0;
-  }
-  const double total = static_cast<double>(params_fp16) +
-                       static_cast<double>(m.gradient_buffer_bytes()) +
-                       act_bytes;
-  return total <= static_cast<double>(gpu_bytes);
+  // Billion-scale models enable activation checkpointing (store layer
+  // inputs only, ~2 B/unit, + one layer of recompute space).
+  return check_gpu_memory(m, batch, gpu_bytes,
+                          m.n_params > 1'000'000'000ull)
+      .fits;
 }
 
 CheckpointCosts checkpoint_costs(const dl::ModelConfig& m,

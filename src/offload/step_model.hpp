@@ -34,10 +34,35 @@ double flops_per_sample(const dl::ModelConfig& m);
 StepInputs compute_step_inputs(const dl::ModelConfig& m, std::uint32_t batch,
                                const Calibration& cal);
 
-/// V100-style memory check: ZeRO-Offload keeps parameters + activations on
-/// the GPU; returns false when the configuration would OOM on a 32 GB card
-/// (reproduces the T5-large batch-16 N/A in Table IV). The default budget
-/// is 32 GiB minus ~2 GiB of CUDA context / framework overhead.
+/// Itemized V100-style memory check: ZeRO-Offload keeps the FP16 parameter
+/// copy, the gradient buffer, and the saved activations on the GPU. The
+/// activation term scales with batch x seq_len x hidden x layers (it is the
+/// dominant term for long sequences), so the OOM frontier moves with
+/// sequence length — the effect bench_tier_activation sweeps.
+struct GpuMemoryCheck {
+  std::uint64_t params_fp16 = 0;
+  std::uint64_t grad_buffer = 0;
+  double activation_bytes = 0.0;
+  std::uint64_t budget = 0;
+  bool fits = false;
+
+  double total() const {
+    return static_cast<double>(params_fp16) +
+           static_cast<double>(grad_buffer) + activation_bytes;
+  }
+};
+
+/// `checkpointing` selects the activation-checkpointing footprint (layer
+/// inputs only + one layer of recompute space).
+GpuMemoryCheck check_gpu_memory(const dl::ModelConfig& m, std::uint32_t batch,
+                                std::uint64_t gpu_bytes,
+                                bool checkpointing);
+
+/// Convenience wrapper around check_gpu_memory: returns false when the
+/// configuration would OOM on a 32 GB card (reproduces the T5-large
+/// batch-16 N/A in Table IV); billion-scale models are assumed to train
+/// with activation checkpointing. The default budget is 32 GiB minus
+/// ~2 GiB of CUDA context / framework overhead.
 bool fits_on_gpu(const dl::ModelConfig& m, std::uint32_t batch,
                  std::uint64_t gpu_bytes = 30ull << 30);
 

@@ -1,0 +1,109 @@
+#include "tier/lifetime_profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "offload/step_model.hpp"
+
+namespace teco::tier {
+
+std::uint64_t StepProfile::total_bytes(TensorClass cls) const {
+  std::uint64_t sum = 0;
+  for (const auto& t : tensors) {
+    if (t.cls == cls) sum += t.bytes;
+  }
+  return sum;
+}
+
+std::uint64_t StepProfile::peak_live_bytes() const {
+  // Sweep (time, +/-bytes) events; frees sort before allocations at equal
+  // times so back-to-back lifetimes don't double-count.
+  struct Ev {
+    sim::Time t;
+    std::int64_t delta;
+  };
+  std::vector<Ev> evs;
+  evs.reserve(tensors.size() * 2);
+  for (const auto& rec : tensors) {
+    evs.push_back({rec.produce, static_cast<std::int64_t>(rec.bytes)});
+    evs.push_back({rec.last_use(), -static_cast<std::int64_t>(rec.bytes)});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  for (const auto& e : evs) {
+    live += e.delta;
+    peak = std::max(peak, live);
+  }
+  return static_cast<std::uint64_t>(peak);
+}
+
+std::uint32_t TensorLifetimeProfiler::on_produce(std::string name,
+                                                TensorClass cls,
+                                                std::uint32_t layer,
+                                                std::uint64_t bytes,
+                                                sim::Time t) {
+  TensorRecord rec;
+  rec.id = static_cast<std::uint32_t>(tensors_.size());
+  rec.name = std::move(name);
+  rec.cls = cls;
+  rec.layer = layer;
+  rec.bytes = bytes;
+  rec.produce = t;
+  tensors_.push_back(std::move(rec));
+  return tensors_.back().id;
+}
+
+void TensorLifetimeProfiler::on_consume(std::uint32_t id, sim::Time t) {
+  if (id >= tensors_.size()) {
+    throw std::out_of_range("TensorLifetimeProfiler: unknown tensor id " +
+                            std::to_string(id));
+  }
+  auto& c = tensors_[id].consumes;
+  c.insert(std::upper_bound(c.begin(), c.end(), t), t);
+}
+
+StepProfile TensorLifetimeProfiler::finish(sim::Time forward,
+                                           sim::Time backward,
+                                           std::uint32_t n_layers) const {
+  StepProfile p;
+  p.forward = forward;
+  p.backward = backward;
+  p.n_layers = n_layers;
+  p.tensors = tensors_;
+  return p;
+}
+
+StepProfile profile_step(const dl::ModelConfig& m, std::uint32_t batch,
+                         const offload::Calibration& cal) {
+  const auto in = offload::compute_step_inputs(m, batch, cal);
+  const std::uint32_t layers = std::max(1u, m.n_layers);
+  const sim::Time fwd_layer = in.forward / layers;
+  const sim::Time bwd_layer = in.backward / layers;
+
+  TensorLifetimeProfiler prof;
+  // FP16 compute copy of the weights, sliced per layer. Live from step
+  // start; read at the start of its forward layer and again when backward
+  // reaches the layer.
+  const std::uint64_t w_bytes = m.n_params * 2 / layers;
+  const auto act_bytes =
+      static_cast<std::uint64_t>(m.activation_bytes_per_layer(batch));
+  for (std::uint32_t i = 0; i < layers; ++i) {
+    const auto id = prof.on_produce("w.L" + std::to_string(i),
+                                    TensorClass::kWeight, i, w_bytes, 0.0);
+    prof.on_consume(id, fwd_layer * i);
+    prof.on_consume(id, in.forward + bwd_layer * (layers - 1 - i));
+  }
+  for (std::uint32_t i = 0; i < layers; ++i) {
+    const auto id =
+        prof.on_produce("act.L" + std::to_string(i), TensorClass::kActivation,
+                        i, act_bytes, fwd_layer * (i + 1));
+    prof.on_consume(id, in.forward + bwd_layer * (layers - 1 - i));
+  }
+  return prof.finish(in.forward, in.backward, layers);
+}
+
+}  // namespace teco::tier

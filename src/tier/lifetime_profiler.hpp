@@ -1,0 +1,69 @@
+// TensorLifetimeProfiler — produce/consume intervals for one training step.
+//
+// Two entry points: the event API (on_produce / on_consume) lets tests and
+// future runtimes record arbitrary tensor lifetimes by hand; profile_step()
+// derives the canonical step profile from the analytic step model — forward
+// produces each layer's activations in order, backward consumes them in
+// reverse, and each layer's FP16 weight slice is read once per pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dl/model_zoo.hpp"
+#include "offload/calibration.hpp"
+#include "tier/tier.hpp"
+
+namespace teco::tier {
+
+/// The profiled step: every tensor's lifetime plus the phase geometry the
+/// planner and scheduler need to reason about overlap windows.
+struct StepProfile {
+  sim::Time forward = 0.0;   ///< Unstalled forward duration.
+  sim::Time backward = 0.0;  ///< Unstalled backward duration.
+  std::uint32_t n_layers = 0;
+  std::vector<TensorRecord> tensors;  ///< Indexed by TensorRecord::id.
+
+  sim::Time fwd_layer_time() const {
+    return n_layers > 0 ? forward / n_layers : forward;
+  }
+  sim::Time bwd_layer_time() const {
+    return n_layers > 0 ? backward / n_layers : backward;
+  }
+  std::uint64_t total_bytes(TensorClass cls) const;
+  /// Peak simultaneously-live bytes if every tensor lived in one tier —
+  /// the all-HBM high-water mark (event sweep over produce/last-use).
+  std::uint64_t peak_live_bytes() const;
+};
+
+class TensorLifetimeProfiler {
+ public:
+  /// Record a tensor materializing at `t`. Returns its id.
+  std::uint32_t on_produce(std::string name, TensorClass cls,
+                           std::uint32_t layer, std::uint64_t bytes,
+                           sim::Time t);
+  /// Record a compute read of `id` at `t`. Throws std::out_of_range for an
+  /// unknown id; consume times may arrive out of order and are kept sorted.
+  void on_consume(std::uint32_t id, sim::Time t);
+
+  const std::vector<TensorRecord>& tensors() const { return tensors_; }
+
+  /// Package the recording into a StepProfile.
+  StepProfile finish(sim::Time forward, sim::Time backward,
+                     std::uint32_t n_layers) const;
+
+ private:
+  std::vector<TensorRecord> tensors_;
+};
+
+/// The canonical profile of one training step of `m` at `batch`: layer i's
+/// weight slice (FP16 compute copy, param_bytes()/2/L) is consumed at the
+/// start of forward layer i and again at the start of backward layer i;
+/// layer i's activations (dl::ModelConfig::activation_bytes_per_layer)
+/// materialize at the end of forward layer i and are consumed when backward
+/// reaches the layer, in reverse order.
+StepProfile profile_step(const dl::ModelConfig& m, std::uint32_t batch,
+                         const offload::Calibration& cal);
+
+}  // namespace teco::tier

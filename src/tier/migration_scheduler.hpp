@@ -1,0 +1,138 @@
+// MigrationScheduler — execute a TierPlan against the event/link substrate.
+//
+// The scheduler replays the step's compute slots (forward layers in order,
+// then backward layers in reverse) on the shared sim::EventQueue and turns
+// the plan's migrations into real traffic: CXL-tier migrations are
+// submitted to the caller's cxl::Channel pair — the SAME channels the
+// parameter/gradient update streams use, so link contention is modeled,
+// not assumed away — while giant-cache migrations are device-local copies
+// that never cross the link. When a consumer reaches a tensor whose fetch
+// has not landed, the slot stalls until delivery and the stall is charged
+// (and reported to the check::TierObserver, where the strict checker
+// enforces the T1/T2 invariants).
+//
+// Prefetch pacing: a prefetch for a consume in slot s may be issued once
+// execution enters slot s - prefetch_depth (initial slots are issued at
+// step start). Under Policy::kNaiveSwap there is no lookahead and
+// evictions are synchronous: compute blocks on the link both ways — the
+// strawman the benches compare against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "check/tier_checker.hpp"
+#include "cxl/channel.hpp"
+#include "offload/calibration.hpp"
+#include "sim/event_queue.hpp"
+#include "tier/placement_planner.hpp"
+
+namespace teco::tier {
+
+/// Step-function byte occupancy of one tier over the step.
+struct OccupancySeries {
+  std::vector<std::pair<sim::Time, std::uint64_t>> points;
+  std::uint64_t peak = 0;
+};
+
+/// One executed migration, for Gantt lanes and trace export.
+struct Transfer {
+  sim::Time start = 0.0;
+  sim::Time end = 0.0;
+  Tier from = Tier::kHbm;
+  Tier to = Tier::kCxlDram;
+  std::uint32_t tensor = 0;
+  std::uint64_t bytes = 0;
+  bool prefetch = false;
+};
+
+struct ScheduleResult {
+  sim::Time forward_end = 0.0;   ///< Includes fetch/evict stalls.
+  sim::Time backward_end = 0.0;  ///< End of compute, with stalls.
+  sim::Time stall_time = 0.0;
+  std::vector<std::pair<sim::Time, sim::Time>> stalls;  ///< Stalled spans.
+  std::uint64_t prefetch_bytes = 0;
+  std::uint64_t evict_bytes = 0;
+  std::uint64_t prefetches = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t demand_fetches = 0;  ///< Fetches issued at consume time.
+  std::array<OccupancySeries, kTierCount> occupancy;
+  std::vector<Transfer> transfers;
+
+  std::uint64_t migrated_bytes() const {
+    return prefetch_bytes + evict_bytes;
+  }
+};
+
+class MigrationScheduler {
+ public:
+  /// `obs` may be null; `prof` and `plan` must outlive run().
+  MigrationScheduler(const StepProfile& prof, const TierPlan& plan,
+                     const offload::Calibration& cal,
+                     check::TierObserver* obs = nullptr);
+
+  /// Called as each compute slot retires: (backward, layer, start, end).
+  /// The activation timeline uses it to pace the gradient update stream
+  /// onto the same up-link the evictions ride.
+  using SlotHook =
+      std::function<void(bool, std::uint32_t, sim::Time, sim::Time)>;
+  void set_slot_hook(SlotHook hook) { hook_ = std::move(hook); }
+
+  /// Run the step to completion on `q`, submitting CXL migrations to
+  /// `up` (device -> CPU: evictions) and `down` (CPU -> device:
+  /// prefetches and demand fetches).
+  ScheduleResult run(sim::EventQueue& q, cxl::Channel& up,
+                     cxl::Channel& down);
+
+ private:
+  struct TState {
+    bool in_hbm = false;
+    bool in_lower = false;
+    bool fetching = false;
+    sim::Time hbm_ready = 0.0;
+    std::size_t consumed = 0;  ///< Retired consume count.
+  };
+  struct PendingPrefetch {
+    std::uint32_t tensor = 0;
+    std::size_t consume_idx = 0;
+    std::size_t slot = 0;  ///< Slot whose start the fetch must beat.
+  };
+
+  std::size_t slot_of(sim::Time consume_t) const;
+  void occ_change(sim::Time t, Tier tier, std::int64_t delta);
+  /// Move `bytes` of `tensor`; returns delivery time.
+  sim::Time transfer(sim::Time t, std::uint32_t tensor, Tier from, Tier to,
+                     bool prefetch);
+  /// Start a fetch toward HBM and schedule its delivery flip; returns the
+  /// delivery time.
+  sim::Time issue_fetch(sim::Time t, std::uint32_t tensor);
+  /// Fetch toward HBM if needed; returns the time the tensor is usable.
+  sim::Time require(sim::Time t, std::uint32_t tensor);
+  void try_issue_prefetches(std::size_t horizon_slot, sim::Time t);
+  sim::Time evict(sim::Time t, std::uint32_t tensor);
+  void exec_slot(sim::EventQueue& q, std::size_t g, sim::Time t);
+
+  const StepProfile& prof_;
+  const TierPlan& plan_;
+  const offload::Calibration& cal_;
+  check::TierObserver* obs_;
+  SlotHook hook_;
+
+  sim::EventQueue* q_ = nullptr;
+  cxl::Channel* up_ = nullptr;
+  cxl::Channel* down_ = nullptr;
+  ScheduleResult res_;
+  std::vector<TState> state_;
+  std::array<std::uint64_t, kTierCount> occ_bytes_{};
+  std::size_t n_slots_ = 0;
+  /// Per slot: (tensor, consume_idx) retiring at slot start.
+  std::vector<std::vector<std::pair<std::uint32_t, std::size_t>>> consumers_;
+  /// Per forward slot: activations materializing at slot end.
+  std::vector<std::vector<std::uint32_t>> produces_;
+  std::vector<PendingPrefetch> pending_;
+};
+
+}  // namespace teco::tier

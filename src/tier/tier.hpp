@@ -1,0 +1,79 @@
+// teco::tier — lifetime-aware tensor placement over the coherent domain.
+//
+// The update protocol (src/offload, src/coherence) moves parameters and
+// gradients; for long-context fine-tuning the dominant memory consumer is
+// the *activation* working set, which grows with batch x sequence length
+// while HBM does not. This library manages where each tensor lives across
+// the three tiers of the TECO memory hierarchy and when it migrates:
+//
+//   kHbm        — accelerator HBM: compute reads/writes happen here.
+//   kGiantCache — the giant cache (resizable-BAR window on the device):
+//                 device-local, no link crossing, but a limited capacity.
+//   kCxlDram    — CXL-attached CPU DRAM: effectively unlimited, but every
+//                 migration crosses the serial link and contends with the
+//                 parameter/gradient update streams.
+//
+// The pipeline is profile -> plan -> schedule (lifetime_profiler.hpp,
+// placement_planner.hpp, migration_scheduler.hpp); the user-facing step
+// timeline that glues it to the five existing runtimes lives in
+// offload/activation_timeline.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace teco::tier {
+
+enum class Tier : std::uint8_t {
+  kHbm = 0,
+  kGiantCache = 1,
+  kCxlDram = 2,
+};
+inline constexpr std::size_t kTierCount = 3;
+
+std::string_view to_string(Tier t);
+
+enum class TensorClass : std::uint8_t {
+  kWeight,      ///< FP16 compute copy; used once per pass per layer.
+  kActivation,  ///< Saved forward output; consumed by backward in reverse.
+};
+
+std::string_view to_string(TensorClass c);
+
+/// One tensor's lifetime inside a training step: when it materializes and
+/// every instant a compute phase reads it. Times are the *unstalled*
+/// schedule of the step model; the migration scheduler re-times them when
+/// fetch stalls push compute back.
+struct TensorRecord {
+  std::uint32_t id = 0;
+  std::string name;
+  TensorClass cls = TensorClass::kActivation;
+  std::uint32_t layer = 0;
+  std::uint64_t bytes = 0;
+  sim::Time produce = 0.0;
+  std::vector<sim::Time> consumes;  ///< Sorted, nondecreasing.
+
+  sim::Time first_consume() const {
+    return consumes.empty() ? produce : consumes.front();
+  }
+  sim::Time last_use() const {
+    return consumes.empty() ? produce : consumes.back();
+  }
+  /// The longest idle gap between uses — the window a planner can park the
+  /// tensor in a lower tier without (ideally) stalling anything.
+  sim::Time dead_span() const {
+    sim::Time best = 0.0;
+    sim::Time prev = produce;
+    for (const sim::Time c : consumes) {
+      if (c - prev > best) best = c - prev;
+      prev = c;
+    }
+    return best;
+  }
+};
+
+}  // namespace teco::tier
