@@ -10,6 +10,7 @@
 
 #include "core/report.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/bench_report.hpp"
 #include "offload/runtime.hpp"
 
 int main() {
@@ -38,19 +39,33 @@ int main() {
     std::puts("");
   }
 
+  obs::MetricsRegistry reg;
+  offload::StepOptions sopts;
+  sopts.metrics = &reg;
   const auto base4 =
       offload::simulate_step(offload::RuntimeKind::kZeroOffload, model, 4,
-                             cal);
-  const auto cxl4 =
-      offload::simulate_step(offload::RuntimeKind::kTecoCxl, model, 4, cal);
+                             cal, sopts);
+  const auto cxl4 = offload::simulate_step(offload::RuntimeKind::kTecoCxl,
+                                           model, 4, cal, sopts);
   const auto red4 = offload::simulate_step(
-      offload::RuntimeKind::kTecoReduction, model, 4, cal);
+      offload::RuntimeKind::kTecoReduction, model, 4, cal, sopts);
+  const double cxl_cut =
+      100 * (1 - cxl4.param_transfer_exposed / base4.param_transfer_exposed);
+  const double red_cut =
+      100 * (1 - red4.param_transfer_exposed / base4.param_transfer_exposed);
   std::printf("Param-transfer exposure cut by TECO-CXL at batch 4: %.0f%% "
               "(paper: 76%%); by TECO-Reduction: %.0f%% (paper: completely "
               "hidden).\n",
-              100 * (1 - cxl4.param_transfer_exposed /
-                             base4.param_transfer_exposed),
-              100 * (1 - red4.param_transfer_exposed /
-                             base4.param_transfer_exposed));
+              cxl_cut, red_cut);
+
+  obs::BenchReport report("fig12_breakdown");
+  report.set_config("model", model.name);
+  report.set_config("batch", 4.0);
+  report.set_headline("param_xfer_cut_cxl_pct", cxl_cut);
+  report.set_headline("param_xfer_cut_reduction_pct", red_cut);
+  report.set_headline("step_total_zero_ms", base4.total() * 1e3);
+  report.set_headline("step_total_reduction_ms", red4.total() * 1e3);
+  report.attach_registry(&reg);
+  report.write();
   return 0;
 }

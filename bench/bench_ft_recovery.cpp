@@ -19,6 +19,7 @@
 #include "core/report.hpp"
 #include "dl/model_zoo.hpp"
 #include "ft/trainer.hpp"
+#include "obs/bench_report.hpp"
 #include "offload/runtime.hpp"
 #include "offload/step_model.hpp"
 
@@ -146,6 +147,19 @@ int main() {
                 static_cast<unsigned long long>(r.checkpoint.lines_written),
                 static_cast<unsigned long long>(
                     r.checkpoint.lines_skipped_clean));
+
+    obs::BenchReport report("ft_recovery");
+    report.set_config("mode", "incremental");
+    report.set_config("interval", 6.0);
+    report.set_config("steps", static_cast<double>(cfg.steps));
+    report.set_headline("restore_ms", r.recovery.restore_time * 1e3);
+    report.set_headline("lost_work_ms", r.recovery.lost_work * 1e3);
+    report.set_headline("ckpt_lines_written",
+                        static_cast<double>(r.checkpoint.lines_written));
+    report.set_headline(
+        "ckpt_lines_skipped_clean",
+        static_cast<double>(r.checkpoint.lines_skipped_clean));
+    report.write();
   }
   return 0;
 }

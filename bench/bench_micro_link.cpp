@@ -11,6 +11,8 @@
 #include "coherence/home_agent.hpp"
 #include "cxl/channel.hpp"
 #include "cxl/flit.hpp"
+#include "cxl/link.hpp"
+#include "obs/metrics.hpp"
 #include "dba/aggregator.hpp"
 #include "dba/disaggregator.hpp"
 #include "dl/attention.hpp"
@@ -46,6 +48,50 @@ void BM_ChannelSubmitStream(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ChannelSubmitStream)->Arg(1 << 10)->Arg(1 << 20);
+
+// The obs overhead acceptance pair: identical link sends with and without
+// a metrics registry attached. The delta between the two is the full cost
+// of telemetry on the hottest simulator path (flit math + seven Counter
+// adds); it must stay under 5 %. Build with -DTECO_OBS=OFF to measure the
+// compiled-out floor.
+void BM_LinkSendBare(benchmark::State& state) {
+  cxl::Link link;
+  const auto pkt = cxl::data_packet(cxl::MessageType::kFlushData, 0, 64);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        link.send(cxl::Direction::kCpuToDevice, t, pkt));
+    t += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkSendBare);
+
+void BM_LinkSendMetrics(benchmark::State& state) {
+  cxl::Link link;
+  obs::MetricsRegistry reg;
+  link.set_metrics(&reg);
+  const auto pkt = cxl::data_packet(cxl::MessageType::kFlushData, 0, 64);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        link.send(cxl::Direction::kCpuToDevice, t, pkt));
+    t += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkSendMetrics);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.add();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
 
 void BM_AggregatorPack(benchmark::State& state) {
   sim::Rng rng(1);

@@ -4,6 +4,7 @@
 
 #include "core/report.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/bench_report.hpp"
 #include "offload/experiments.hpp"
 
 int main() {
@@ -46,5 +47,14 @@ int main() {
               "max %.1f%% (paper up to 100%%)\n",
               h.cells, 100 * h.avg_time_reduction, 100 * h.max_time_reduction,
               100 * h.avg_comm_reduction, 100 * h.max_comm_reduction);
+
+  obs::BenchReport report("table4_speedup_reduction");
+  report.set_config("models", "table3");
+  report.set_config("cells", static_cast<double>(h.cells));
+  report.set_headline("avg_time_reduction_pct", 100 * h.avg_time_reduction);
+  report.set_headline("max_time_reduction_pct", 100 * h.max_time_reduction);
+  report.set_headline("avg_comm_reduction_pct", 100 * h.avg_comm_reduction);
+  report.set_headline("max_comm_reduction_pct", 100 * h.max_comm_reduction);
+  report.write();
   return 0;
 }

@@ -16,10 +16,11 @@
 // with well over 25 % less stall than naive synchronous swapping.
 //
 // Flags / environment:
-//   --json <path>  also export the min_stall step as a Chrome trace_event
-//                  JSON file (chrome://tracing, ui.perfetto.dev), tier
-//                  occupancy counters included.
-//   TECO_SMOKE=1   shrink the sweep for CI smoke runs.
+//   --json <path>   also export the min_stall step as ONE unified Chrome
+//                   trace_event JSON (chrome://tracing, ui.perfetto.dev):
+//                   Gantt lanes + obs spans + tier occupancy counter tracks.
+//   TECO_SMOKE=1    shrink the sweep for CI smoke runs.
+//   TECO_BENCH_DIR  where BENCH_tier_activation.json lands (default: cwd).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,7 @@
 #include "core/report.hpp"
 #include "core/trace_export.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/bench_report.hpp"
 #include "offload/activation_timeline.hpp"
 
 namespace {
@@ -131,14 +133,41 @@ int main(int argc, char** argv) {
               "target.\n");
   }
 
+  // Detailed run for the telemetry artifacts: the min_stall policy at the
+  // largest sequence length, with the obs registry + span buffer attached.
+  // This feeds both BENCH_tier_activation.json (always) and, with --json,
+  // the unified Chrome trace.
+  model.seq_len = sweep.seq_lens.back();
+  offload::ActivationTimelineOptions opts;
+  opts.policy = tier::Policy::kMinStall;
+  opts.hbm_bytes = 16 * kGiB;
+  opts.giant_cache_bytes = 4 * kGiB;
+  obs::MetricsRegistry reg;
+  obs::TraceBuffer spans;
+  opts.metrics = &reg;
+  opts.spans = &spans;
+  const auto r =
+      offload::simulate_activation_step(model, sweep.batch, cal, opts);
+
+  obs::BenchReport report("tier_activation");
+  report.set_config("model", "gpt2");
+  report.set_config("batch", static_cast<double>(sweep.batch));
+  report.set_config("seq_len", static_cast<double>(model.seq_len));
+  report.set_config("hbm_gib",
+                    static_cast<double>(opts.hbm_bytes) / kGiB);
+  report.set_config("policy", std::string(tier::to_string(opts.policy)));
+  report.set_headline("best_stall_reduction_pct", best_reduction * 100.0);
+  report.set_headline("step_total_ms", r.step_total * 1e3);
+  report.set_headline("stall_ms", r.stall_time() * 1e3);
+  report.set_headline("migrated_mib",
+                      static_cast<double>(r.migrated_bytes()) / (1 << 20));
+  report.attach_registry(&reg);
+  const std::string written = report.write();
+  if (!written.empty()) {
+    std::printf("Bench report written to %s\n", written.c_str());
+  }
+
   if (!json_path.empty()) {
-    model.seq_len = sweep.seq_lens.back();
-    offload::ActivationTimelineOptions opts;
-    opts.policy = tier::Policy::kMinStall;
-    opts.hbm_bytes = 16 * kGiB;
-    opts.giant_cache_bytes = 4 * kGiB;
-    const auto r =
-        offload::simulate_activation_step(model, sweep.batch, cal, opts);
     const auto g = core::activation_gantt(r, opts.hbm_bytes,
                                           opts.giant_cache_bytes);
     std::vector<core::CounterSeries> counters;
@@ -148,11 +177,20 @@ int main(int argc, char** argv) {
                " bytes",
            r.sched.occupancy[i].points});
     }
-    std::ofstream out(json_path);
-    out << core::to_chrome_trace_json(g, "teco tier_activation", counters);
-    std::printf("Chrome trace written to %s (load in chrome://tracing or "
-                "ui.perfetto.dev)\n",
-                json_path.c_str());
+    // One trace, three sources: the Gantt lanes (process 1) with the tier
+    // occupancy counter tracks, plus the obs spans (process 2).
+    core::ChromeTraceComposer composer;
+    composer.add_gantt(g, "teco tier_activation", /*pid=*/1);
+    composer.add_counters(counters, /*pid=*/1);
+    composer.add_spans(spans, "teco obs spans", /*pid=*/2);
+    if (composer.write(json_path)) {
+      std::printf("Chrome trace written to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

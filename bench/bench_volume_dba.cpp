@@ -7,12 +7,18 @@
 
 #include "core/report.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/bench_report.hpp"
 #include "offload/experiments.hpp"
 
 int main() {
   using namespace teco;
   const auto& cal = offload::default_calibration();
 
+  obs::BenchReport report("volume_dba");
+  report.set_config("batch", 4.0);
+  report.set_config("dirty_bytes", 2.0);
+  double worst_cut = 1.0;
+  double best_gain = 0.0;
   core::TextTable t("Section VIII-C: per-step communication volume (batch 4)");
   t.set_header({"Model", "Baseline params", "TECO-Red params", "Param cut",
                 "Grads (both)", "DBA-only end-to-end gain"});
@@ -27,6 +33,10 @@ int main() {
         offload::simulate_step(offload::RuntimeKind::kZeroOffload, m, 4, cal);
     // The paper reports DBA's contribution relative to the original time.
     const double dba_gain = (cxl.total() - red.total()) / base.total();
+    if (r.param_volume_reduction < worst_cut) {
+      worst_cut = r.param_volume_reduction;
+    }
+    if (dba_gain > best_gain) best_gain = dba_gain;
     t.add_row({m.name,
                core::TextTable::mib(static_cast<double>(r.base_to_device)),
                core::TextTable::mib(static_cast<double>(r.treat_to_device)),
@@ -49,5 +59,9 @@ int main() {
               "256-GPU fleet ~= $%.0fK/year of fleet cost (paper: ~$900K; "
               "the figure is sensitive to utilization assumptions).\n",
               yearly_fleet * saving_frac / 1000.0);
+
+  report.set_headline("min_param_volume_cut_pct", worst_cut * 100.0);
+  report.set_headline("max_dba_end_to_end_gain_pct", best_gain * 100.0);
+  report.write();
   return 0;
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two canonical bench results (BENCH_<name>.json, schema teco-bench-v1).
+
+Usage: scripts/bench_diff.py BASELINE.json CANDIDATE.json [--threshold-pct P]
+
+Prints a table of headline scalars (always) and registry metrics (when both
+files carry them) with absolute and relative deltas. Exits 1 when any
+headline value moved by more than --threshold-pct (default: report-only, 0
+disables gating). Intended for PR descriptions: regenerate the candidate
+with TECO_BENCH_DIR pointing somewhere writable, then paste the output.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "teco-bench-v1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    return doc
+
+
+def fmt(v):
+    if isinstance(v, float) and v != int(v):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def diff_section(title, base, cand, threshold_pct):
+    keys = sorted(set(base) | set(cand))
+    if not keys:
+        return [], 0
+    width = max(len(k) for k in keys)
+    lines = [f"{title}:"]
+    regressions = 0
+    for k in keys:
+        b, c = base.get(k), cand.get(k)
+        if b is None or c is None:
+            lines.append(f"  {k:<{width}}  {fmt(b)} -> {fmt(c)}  (one-sided)")
+            continue
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            mark = "" if b == c else "  *"
+            lines.append(f"  {k:<{width}}  {fmt(b)} -> {fmt(c)}{mark}")
+            continue
+        delta = c - b
+        rel = (delta / b * 100.0) if b else (0.0 if not delta else float("inf"))
+        flag = ""
+        if threshold_pct and abs(rel) > threshold_pct:
+            flag = "  <-- beyond threshold"
+            regressions += 1
+        lines.append(
+            f"  {k:<{width}}  {fmt(b)} -> {fmt(c)}"
+            f"  ({delta:+.4g}, {rel:+.2f}%){flag}"
+        )
+    return lines, regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=0.0,
+        help="fail when a headline moves more than this (0 = report only)",
+    )
+    args = ap.parse_args()
+
+    base, cand = load(args.baseline), load(args.candidate)
+    if base["name"] != cand["name"]:
+        sys.exit(
+            f"error: comparing different benches: "
+            f"{base['name']!r} vs {cand['name']!r}"
+        )
+
+    print(f"bench: {base['name']}")
+    if base.get("smoke") or cand.get("smoke"):
+        print("note: at least one side ran with TECO_SMOKE=1 (shrunk work)")
+
+    total = 0
+    lines, bad = diff_section(
+        "headline", base.get("headline", {}), cand.get("headline", {}),
+        args.threshold_pct,
+    )
+    print("\n".join(lines))
+    total += bad
+
+    metrics_b, metrics_c = base.get("metrics", {}), cand.get("metrics", {})
+    if metrics_b and metrics_c:
+        lines, _ = diff_section("metrics", metrics_b, metrics_c, 0.0)
+        print("\n".join(lines))
+
+    if total:
+        print(f"{total} headline value(s) beyond ±{args.threshold_pct}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

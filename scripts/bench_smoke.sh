@@ -7,6 +7,12 @@
 # google-benchmark binary is capped with --benchmark_min_time instead.
 # bench_tier_activation additionally smoke-tests the Chrome trace exporter
 # (--json into a temp file that must be non-empty).
+#
+# Canonical results: TECO_BENCH_DIR is pointed at ${build_dir}/bench-results
+# so every bench that emits a BENCH_<name>.json (teco-bench-v1) writes
+# there; after the run each file is schema-validated with python3 and the
+# script fails on a missing/empty headline section. Compare two result
+# directories with scripts/bench_diff.py.
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -19,6 +25,9 @@ if [ ! -d "${bench_dir}" ]; then
 fi
 
 export TECO_SMOKE=1
+export TECO_BENCH_DIR="${build_dir}/bench-results"
+mkdir -p "${TECO_BENCH_DIR}"
+rm -f "${TECO_BENCH_DIR}"/BENCH_*.json
 failures=0
 ran=0
 
@@ -58,5 +67,34 @@ if [ "${ran}" -eq 0 ]; then
   echo "error: no bench binaries found in ${bench_dir}" >&2
   exit 1
 fi
-echo "${ran} benches, ${failures} failures"
+
+# Validate every canonical result file: schema tag, bench name, and a
+# non-empty headline section with numeric values.
+reports=0
+for f in "${TECO_BENCH_DIR}"/BENCH_*.json; do
+  [ -e "${f}" ] || continue
+  if python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+schema = doc.get("schema")
+assert schema == "teco-bench-v1", "bad schema: %r" % schema
+assert doc.get("name"), "missing bench name"
+headline = doc.get("headline")
+assert isinstance(headline, dict) and headline, "missing headline keys"
+bad = [k for k, v in headline.items() if not isinstance(v, (int, float))]
+assert not bad, "non-numeric headline values: %r" % bad
+' "${f}"; then
+    printf 'ok   %-34s schema valid\n' "$(basename "${f}")"
+  else
+    echo "FAIL $(basename "${f}"): schema validation"
+    failures=$((failures + 1))
+  fi
+  reports=$((reports + 1))
+done
+if [ "${reports}" -lt 2 ]; then
+  echo "error: expected at least 2 BENCH_*.json reports, got ${reports}" >&2
+  failures=$((failures + 1))
+fi
+
+echo "${ran} benches, ${reports} reports, ${failures} failures"
 exit "${failures}"

@@ -122,6 +122,14 @@ class ProtocolChecker final : public Observer {
   /// Formatted recent-transition history for `line` (for diagnostics).
   std::string line_history(mem::Addr line) const;
 
+  /// Packets the flit-conservation invariant has observed injected in
+  /// direction `dir` (0 = CPU->device / m2s, 1 = device->CPU / s2m) since
+  /// attach. The obs registry's coherence.{m2s,s2m}.msgs counters are
+  /// recorded at the same link choke point and must agree exactly.
+  std::uint64_t packets_injected(std::uint8_t dir) const {
+    return injected_[dir];
+  }
+
   /// Sweep every tracked line for SWMR + snoop-filter consistency at a
   /// quiescent point (e.g. after a fence). Ops do this incrementally for
   /// the lines they touch; this is the whole-domain variant.

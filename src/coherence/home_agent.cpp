@@ -61,13 +61,34 @@ void HomeAgent::set_observer(check::Observer* obs) {
   disaggregator_.set_observer(obs);
 }
 
+void HomeAgent::set_metrics(obs::MetricsRegistry* reg) {
+  link_.set_metrics(reg);
+  if (reg == nullptr) {
+    m_dba_lines_ = m_dba_saved_ = m_dba_fallback_ = nullptr;
+    return;
+  }
+  m_dba_lines_ = &reg->counter("dba.lines_aggregated");
+  m_dba_saved_ = &reg->counter("dba.bytes_saved");
+  m_dba_fallback_ = &reg->counter("dba.fallback_full_lines");
+}
+
 cxl::Delivery HomeAgent::push_line_to_device(sim::Time now, mem::Addr line,
                                              const GiantCacheRegion& region) {
   const bool trim = region.dba_eligible && aggregator_.reg().trims();
   const std::uint32_t payload =
       trim ? dba::payload_bytes(aggregator_.reg().dirty_bytes())
            : static_cast<std::uint32_t>(mem::kLineBytes);
-  if (trim) ++stats_.dba_trimmed_lines;
+  if (trim) {
+    ++stats_.dba_trimmed_lines;
+    if (m_dba_lines_ != nullptr) {
+      m_dba_lines_->add();
+      m_dba_saved_->add(static_cast<double>(mem::kLineBytes) - payload);
+    }
+  } else if (aggregator_.reg().trims() && m_dba_fallback_ != nullptr) {
+    // DBA is programmed but this region has no stable dirty-byte pattern:
+    // the line goes out full.
+    m_dba_fallback_->add();
+  }
 
   if (cpu_mem_ != nullptr && device_mem_ != nullptr) {
     const auto src = cpu_mem_->read_line(line);

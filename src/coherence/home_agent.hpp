@@ -124,6 +124,11 @@ class HomeAgent {
   /// link, DBA units) in one call; nullptr detaches everywhere.
   void set_observer(check::Observer* obs);
 
+  /// Attach/detach a telemetry registry. Wires the link's cxl.*/coherence.*
+  /// counters and resolves the agent's own dba.* handles (the trim decision
+  /// is only visible here); nullptr detaches everywhere.
+  void set_metrics(obs::MetricsRegistry* reg);
+
  private:
   /// CPU-line state as the coherence layer sees it (I if not resident).
   MesiState cpu_state(mem::Addr line) const;
@@ -161,6 +166,9 @@ class HomeAgent {
   dba::Aggregator aggregator_;
   dba::Disaggregator disaggregator_;
   HomeAgentStats stats_;
+  obs::Counter* m_dba_lines_ = nullptr;      ///< dba.lines_aggregated
+  obs::Counter* m_dba_saved_ = nullptr;      ///< dba.bytes_saved
+  obs::Counter* m_dba_fallback_ = nullptr;   ///< dba.fallback_full_lines
 };
 
 }  // namespace teco::coherence

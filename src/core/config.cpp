@@ -160,6 +160,14 @@ ParsedConfig parse_config(std::string_view text) {
       } else {
         fail("tier_prefetch_depth must be in [0, 64]");
       }
+    } else if (key == "obs_jsonl_path") {
+      out.session.obs_jsonl_path = std::string(value);
+    } else if (key == "obs_trace_path") {
+      out.session.obs_trace_path = std::string(value);
+    } else if (key == "obs_step_log") {
+      if (!parse_onoff(value, &out.session.obs_step_log)) {
+        fail("obs_step_log must be on/off");
+      }
     } else {
       out.unknown_keys.push_back(key);
     }
@@ -197,6 +205,15 @@ std::string to_config_text(const SessionConfig& cfg) {
   os << "tier_policy = " << tier::to_string(cfg.tier_policy) << "\n";
   os << "tier_hbm_bytes = " << cfg.tier_hbm_bytes << "\n";
   os << "tier_prefetch_depth = " << cfg.tier_prefetch_depth << "\n";
+  // Empty path values round-trip as absent lines: the parser treats a
+  // missing key as the default, and "key =" would read back as "".
+  if (!cfg.obs_jsonl_path.empty()) {
+    os << "obs_jsonl_path = " << cfg.obs_jsonl_path << "\n";
+  }
+  if (!cfg.obs_trace_path.empty()) {
+    os << "obs_trace_path = " << cfg.obs_trace_path << "\n";
+  }
+  os << "obs_step_log = " << (cfg.obs_step_log ? "on" : "off") << "\n";
   return os.str();
 }
 

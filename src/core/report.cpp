@@ -71,4 +71,16 @@ std::string TextTable::mib(double bytes, int precision) {
   return buf;
 }
 
+std::string step_snapshot_table(const obs::StepSnapshot& snap) {
+  char title[96];
+  std::snprintf(title, sizeof title, "step %zu  [%.1f us, %.1f us]",
+                snap.step, snap.t_begin * 1e6, snap.t_end * 1e6);
+  TextTable t(title);
+  t.set_header({"metric", "delta", "total"});
+  for (auto& row : obs::snapshot_rows(snap)) {
+    t.add_row({std::move(row[0]), std::move(row[1]), std::move(row[2])});
+  }
+  return t.to_string();
+}
+
 }  // namespace teco::core

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/snapshot.hpp"
+
 namespace teco::core {
 
 class TextTable {
@@ -24,5 +26,9 @@ class TextTable {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// The human step log: obs::snapshot_rows wrapped in a TextTable, titled
+/// "step N [t_begin_us, t_end_us]". This is what obs_step_log=on prints.
+std::string step_snapshot_table(const obs::StepSnapshot& snap);
 
 }  // namespace teco::core

@@ -1,14 +1,29 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <iostream>
 #include <stdexcept>
+
+#include "core/report.hpp"
+#include "core/trace_export.hpp"
 
 namespace teco::core {
 
 namespace {
+
 std::uint64_t round_up_lines(std::uint64_t bytes) {
   return (bytes + mem::kLineBytes - 1) / mem::kLineBytes * mem::kLineBytes;
 }
+
+/// The obs_step_log sink: one TextTable of per-step deltas on stdout.
+class StepLogSink final : public obs::StepSink {
+ public:
+  void on_step(const obs::StepSnapshot& snap) override {
+    std::cout << step_snapshot_table(snap) << "\n";
+  }
+};
+
 }  // namespace
 
 std::string_view to_string(FtMode m) {
@@ -56,6 +71,46 @@ Session::Session(SessionConfig cfg)
     observers_.add(checker_.get());
     rewire_observers();
   }
+  setup_telemetry();
+}
+
+Session::~Session() {
+  if (cfg_.obs_trace_path.empty()) return;
+  // Best-effort flush from a destructor: a failed write must not throw.
+  ChromeTraceComposer c;
+  c.add_spans(spans_, "teco.session", /*pid=*/1);
+  c.write(cfg_.obs_trace_path);
+}
+
+void Session::setup_telemetry() {
+  agent_->set_metrics(&metrics_);
+  m_step_total_ = &metrics_.counter("step.total_us");
+  m_step_overlap_ = &metrics_.counter("step.overlap_us");
+  m_step_fence_ = &metrics_.counter("step.fence_drain_us");
+  if (!cfg_.obs_jsonl_path.empty()) {
+    jsonl_stream_ = std::make_unique<std::ofstream>(cfg_.obs_jsonl_path);
+    if (!*jsonl_stream_) {
+      throw std::runtime_error("Session: cannot open obs_jsonl_path '" +
+                               cfg_.obs_jsonl_path + "'");
+    }
+    jsonl_sink_ = std::make_unique<obs::JsonlWriter>(*jsonl_stream_);
+    publisher_.add_sink(jsonl_sink_.get());
+  }
+  if (cfg_.obs_step_log) {
+    step_log_sink_ = std::make_unique<StepLogSink>();
+    publisher_.add_sink(step_log_sink_.get());
+  }
+}
+
+sim::Time Session::fence(const char* label) {
+  const sim::Time t0 = now_;
+  now_ = agent_->cxl_fence(now_);
+  if (now_ > t0) {
+    m_step_fence_->add((now_ - t0) * 1e6);
+    step_fence_us_ += (now_ - t0) * 1e6;
+    spans_.emit("fence", label, t0, now_);
+  }
+  return now_;
 }
 
 mem::Addr Session::allocate_region(const std::string& name,
@@ -111,10 +166,7 @@ void Session::device_write_gradients(mem::Addr base,
   }
 }
 
-sim::Time Session::backward_complete() {
-  now_ = agent_->cxl_fence(now_);
-  return now_;
-}
+sim::Time Session::backward_complete() { return fence("backward"); }
 
 bool Session::check_activation(std::size_t step) {
   if (cfg_.dba_enabled && !dba_active_ && step >= cfg_.act_aft_steps) {
@@ -137,8 +189,27 @@ void Session::cpu_write_parameters(mem::Addr base,
 }
 
 sim::Time Session::optimizer_step_complete() {
-  now_ = agent_->cxl_fence(now_);
+  fence("optimizer");
   agent_->cpu_flush_all(now_);
+
+  // Close the step: wall time, link busy time spent under compute (overlap)
+  // versus behind a fence (already charged by fence()), one span, and a
+  // snapshot for whoever is listening.
+  const sim::Time busy =
+      link_->channel(cxl::Direction::kCpuToDevice).stats().busy_time +
+      link_->channel(cxl::Direction::kDeviceToCpu).stats().busy_time;
+  const double busy_us = (busy - step_busy_base_) * 1e6;
+  m_step_total_->add((now_ - step_begin_) * 1e6);
+  m_step_overlap_->add(std::max(0.0, busy_us - step_fence_us_));
+  spans_.emit("step", "step " + std::to_string(step_index_), step_begin_,
+              now_);
+  if (publisher_.has_sinks()) {
+    publisher_.publish(metrics_, step_index_, step_begin_, now_);
+  }
+  ++step_index_;
+  step_begin_ = now_;
+  step_busy_base_ = busy;
+  step_fence_us_ = 0.0;
   return now_;
 }
 

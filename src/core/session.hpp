@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -32,6 +33,9 @@
 #include "cxl/link.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "sim/trace.hpp"
 #include "tier/placement_planner.hpp"
 
@@ -86,6 +90,15 @@ struct SessionConfig {
   std::uint64_t tier_hbm_bytes = 32ull << 30;
   /// Compute slots of lookahead the migration scheduler may prefetch.
   std::size_t tier_prefetch_depth = 2;
+
+  // --- Telemetry (teco::obs) ---
+  /// When non-empty, one JSONL line of registry deltas per training step.
+  std::string obs_jsonl_path;
+  /// When non-empty, the unified Chrome/Perfetto trace (step + fence spans
+  /// and counter tracks) is written here at session teardown.
+  std::string obs_trace_path;
+  /// Print a per-step TextTable of registry deltas to stdout.
+  bool obs_step_log = false;
 };
 
 /// The tier::PlannerConfig a session's knobs describe (the giant-cache
@@ -95,6 +108,9 @@ tier::PlannerConfig tier_planner_config(const SessionConfig& cfg);
 class Session {
  public:
   explicit Session(SessionConfig cfg = {});
+  /// Flushes telemetry: writes the unified Chrome trace when
+  /// obs_trace_path is configured.
+  ~Session();
 
   /// Map a parameter tensor into the giant cache (DBA-eligible). The
   /// device starts with a copy (state E), as before training begins.
@@ -184,11 +200,28 @@ class Session {
   /// The attached invariant checker, or nullptr when check == kOff.
   const check::ProtocolChecker* checker() const { return checker_.get(); }
 
+  /// The session-owned telemetry registry. Every coherent-domain component
+  /// records into it; non-const so harnesses (ft trainer, benches) can
+  /// register their own instruments alongside.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Step/fence spans on the simulated clock, for the unified trace.
+  obs::TraceBuffer& spans() { return spans_; }
+  const obs::TraceBuffer& spans() const { return spans_; }
+  /// End-of-step snapshot fan-out; attach extra sinks before training.
+  obs::StepPublisher& step_publisher() { return publisher_; }
+  /// Steps completed (optimizer_step_complete() calls).
+  std::size_t steps_completed() const { return step_index_; }
+
  private:
   /// Shared bump-allocator body: validates the request, maps the region.
   mem::Addr allocate_region(const std::string& name, std::uint64_t bytes,
                             bool dba_eligible);
   void rewire_observers();
+  void setup_telemetry();
+  /// Fence wrapper shared by the two step hooks: advances the clock and
+  /// charges step.fence_drain_us / a fence span for the drained window.
+  sim::Time fence(const char* label);
 
   SessionConfig cfg_;
   sim::Trace trace_;
@@ -206,6 +239,23 @@ class Session {
   mem::Addr next_alloc_ = 0x1000'0000;  ///< Bump allocator, line-aligned.
   sim::Time now_ = 0.0;
   bool dba_active_ = false;
+
+  // --- Telemetry (teco::obs) ---
+  obs::MetricsRegistry metrics_;
+  obs::TraceBuffer spans_;
+  obs::StepPublisher publisher_;
+  /// Owned sinks wired from the obs_* config keys (plus any the caller
+  /// attaches directly through step_publisher()).
+  std::unique_ptr<std::ofstream> jsonl_stream_;
+  std::unique_ptr<obs::JsonlWriter> jsonl_sink_;
+  std::unique_ptr<obs::StepSink> step_log_sink_;
+  obs::Counter* m_step_total_ = nullptr;
+  obs::Counter* m_step_overlap_ = nullptr;
+  obs::Counter* m_step_fence_ = nullptr;
+  std::size_t step_index_ = 0;
+  sim::Time step_begin_ = 0.0;
+  sim::Time step_busy_base_ = 0.0;   ///< Link busy_time at step start.
+  sim::Time step_fence_us_ = 0.0;    ///< Fence drain charged this step.
 };
 
 }  // namespace teco::core

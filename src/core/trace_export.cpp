@@ -2,29 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "obs/json.hpp"
 
 namespace teco::core {
 
 namespace {
-
-/// Minimal JSON string escaping (lane names are ASCII identifiers, but a
-/// quote or backslash must not break the file).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
 
 std::string us(sim::Time t) {
   char buf[32];
@@ -34,61 +19,103 @@ std::string us(sim::Time t) {
 
 }  // namespace
 
+void ChromeTraceComposer::name_process(int pid, const std::string& name) {
+  if (std::find(named_pids_.begin(), named_pids_.end(), pid) !=
+      named_pids_.end()) {
+    return;
+  }
+  named_pids_.push_back(pid);
+  std::ostringstream os;
+  os << R"({"name":"process_name","ph":"M","pid":)" << pid
+     << R"(,"tid":0,"args":{"name":")" << obs::json_escape(name) << R"("}})";
+  events_.push_back(os.str());
+}
+
+std::size_t ChromeTraceComposer::lane_tid(int pid, const std::string& lane) {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].first == pid && lanes_[i].second == lane) return i + 1;
+  }
+  lanes_.emplace_back(pid, lane);
+  const std::size_t tid = lanes_.size();
+  std::ostringstream os;
+  os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)"
+     << tid << R"(,"args":{"name":")" << obs::json_escape(lane) << R"("}})";
+  events_.push_back(os.str());
+  os.str({});
+  os << R"({"name":"thread_sort_index","ph":"M","pid":)" << pid
+     << R"(,"tid":)" << tid << R"(,"args":{"sort_index":)" << tid << "}}";
+  events_.push_back(os.str());
+  return tid;
+}
+
+void ChromeTraceComposer::add_gantt(const GanttChart& g,
+                                    const std::string& process_name, int pid) {
+  name_process(pid, process_name);
+  for (const auto& s : g.spans()) {
+    const std::size_t tid = lane_tid(pid, s.lane);
+    std::ostringstream os;
+    os << R"({"name":")" << obs::json_escape(std::string(1, s.glyph))
+       << R"(","cat":")" << obs::json_escape(s.lane) << R"(","ph":"X","pid":)"
+       << pid << R"(,"tid":)" << tid << R"(,"ts":)" << us(s.start)
+       << R"(,"dur":)" << us(std::max(0.0, s.end - s.start)) << "}";
+    events_.push_back(os.str());
+  }
+}
+
+void ChromeTraceComposer::add_spans(const obs::TraceBuffer& buf,
+                                    const std::string& process_name,
+                                    int pid) {
+  name_process(pid, process_name);
+  for (const auto& s : buf.events()) {
+    const std::size_t tid = lane_tid(pid, s.lane);
+    std::ostringstream os;
+    os << R"({"name":")" << obs::json_escape(s.name) << R"(","cat":")"
+       << obs::json_escape(s.lane) << R"(","ph":"X","pid":)" << pid
+       << R"(,"tid":)" << tid << R"(,"ts":)" << us(s.begin) << R"(,"dur":)"
+       << us(std::max(0.0, s.end - s.begin)) << "}";
+    events_.push_back(os.str());
+  }
+}
+
+void ChromeTraceComposer::add_counters(
+    const std::vector<CounterSeries>& counters, int pid) {
+  for (const auto& c : counters) {
+    for (const auto& [t, v] : c.points) {
+      std::ostringstream os;
+      os << R"({"name":")" << obs::json_escape(c.name)
+         << R"(","ph":"C","pid":)" << pid << R"(,"ts":)" << us(t)
+         << R"(,"args":{"bytes":)" << v << "}}";
+      events_.push_back(os.str());
+    }
+  }
+}
+
+std::string ChromeTraceComposer::json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i != 0) os << ",\n";
+    os << events_[i];
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool ChromeTraceComposer::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << json();
+  return static_cast<bool>(f);
+}
+
 std::string to_chrome_trace_json(const GanttChart& g,
                                  const std::string& process_name,
                                  const std::vector<CounterSeries>& counters,
                                  int pid) {
-  std::ostringstream os;
-  os << "[\n";
-  bool first = true;
-  auto sep = [&] {
-    if (!first) os << ",\n";
-    first = false;
-  };
-
-  sep();
-  os << R"({"name":"process_name","ph":"M","pid":)" << pid << R"(,"tid":0,"args":{"name":")"
-     << json_escape(process_name) << R"("}})";
-
-  // One "thread" per lane, in first-appearance order, so the viewer stacks
-  // the rows the way render() does.
-  std::vector<std::string> lanes;
-  for (const auto& s : g.spans()) {
-    if (std::find(lanes.begin(), lanes.end(), s.lane) == lanes.end()) {
-      lanes.push_back(s.lane);
-    }
-  }
-  for (std::size_t i = 0; i < lanes.size(); ++i) {
-    sep();
-    os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)" << (i + 1)
-       << R"(,"args":{"name":")" << json_escape(lanes[i]) << R"("}})";
-    sep();
-    os << R"({"name":"thread_sort_index","ph":"M","pid":)" << pid << R"(,"tid":)" << (i + 1)
-       << R"(,"args":{"sort_index":)" << (i + 1) << "}}";
-  }
-
-  for (const auto& s : g.spans()) {
-    const auto lane_it = std::find(lanes.begin(), lanes.end(), s.lane);
-    const std::size_t tid =
-        static_cast<std::size_t>(lane_it - lanes.begin()) + 1;
-    sep();
-    os << R"({"name":")" << json_escape(std::string(1, s.glyph))
-       << R"(","cat":")" << json_escape(s.lane) << R"(","ph":"X","pid":)" << pid << R"(,)"
-       << R"("tid":)" << tid << R"(,"ts":)" << us(s.start) << R"(,"dur":)"
-       << us(std::max(0.0, s.end - s.start)) << "}";
-  }
-
-  for (const auto& c : counters) {
-    for (const auto& [t, v] : c.points) {
-      sep();
-      os << R"({"name":")" << json_escape(c.name)
-         << R"(","ph":"C","pid":)" << pid << R"(,"ts":)" << us(t) << R"(,"args":{"bytes":)"
-         << v << "}}";
-    }
-  }
-
-  os << "\n]\n";
-  return os.str();
+  ChromeTraceComposer c;
+  c.add_gantt(g, process_name, pid);
+  c.add_counters(counters, pid);
+  return c.json();
 }
 
 }  // namespace teco::core

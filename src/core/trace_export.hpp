@@ -1,11 +1,16 @@
-// Chrome trace_event JSON export of a GanttChart.
+// Chrome trace_event JSON export — the unified trace composer.
 //
 // Emits the JSON Array Format the Chrome tracing ecosystem consumes
-// (chrome://tracing, https://ui.perfetto.dev): each Gantt lane becomes a
-// named "thread" carrying complete ("X") duration events, and optional
-// counter series — the per-tier occupancy curves — become "C" events that
-// render as area charts. Times are exported in microseconds, the format's
-// native unit.
+// (chrome://tracing, https://ui.perfetto.dev). ChromeTraceComposer splices
+// three kinds of content into ONE file per run:
+//
+//   * GanttChart lanes      — complete ("X") duration events per lane row,
+//   * obs::TraceBuffer spans — the telemetry layer's step/fence/tier spans,
+//   * counter tracks        — "C" events rendering as area charts.
+//
+// Each add_* call lands under a process row ("pid") so several charts can
+// coexist in one viewer session. Times are exported in microseconds, the
+// format's native unit.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "core/gantt.hpp"
+#include "obs/span.hpp"
 #include "sim/time.hpp"
 
 namespace teco::core {
@@ -24,9 +30,42 @@ struct CounterSeries {
   std::vector<std::pair<sim::Time, std::uint64_t>> points;
 };
 
-/// Serialize `g` (plus optional counters) as a Chrome trace_event JSON
-/// array. `process_name` labels the process row in the viewer. Give each
-/// chart its own `pid` when splicing several exports into one file.
+class ChromeTraceComposer {
+ public:
+  /// Add every lane of `g` as threads of process `pid` (named
+  /// `process_name`). Repeated pids reuse the existing process row.
+  void add_gantt(const GanttChart& g, const std::string& process_name,
+                 int pid = 1);
+
+  /// Add the telemetry spans: one thread per distinct lane, events named
+  /// by SpanEvent::name.
+  void add_spans(const obs::TraceBuffer& buf,
+                 const std::string& process_name, int pid = 2);
+
+  /// Add one "C" counter track per series under process `pid`.
+  void add_counters(const std::vector<CounterSeries>& counters, int pid = 1);
+
+  std::size_t events() const { return events_.size(); }
+
+  /// The composed trace_event JSON array.
+  std::string json() const;
+
+  /// Write json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  /// Thread id for (pid, lane), allocating metadata on first sight.
+  std::size_t lane_tid(int pid, const std::string& lane);
+  void name_process(int pid, const std::string& name);
+
+  std::vector<std::string> events_;  ///< Pre-rendered JSON objects.
+  std::vector<std::pair<int, std::string>> lanes_;  ///< (pid, lane) -> tid.
+  std::vector<int> named_pids_;
+};
+
+/// One-chart convenience used by the existing examples/benches: `g` (plus
+/// optional counters) as a standalone trace. Kept as a thin wrapper over
+/// ChromeTraceComposer.
 std::string to_chrome_trace_json(const GanttChart& g,
                                  const std::string& process_name,
                                  const std::vector<CounterSeries>& counters =

@@ -6,6 +6,7 @@
 
 #include "core/gantt.hpp"
 #include "mem/address.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace teco::ft {
@@ -74,6 +75,17 @@ FtTrainResult run_ft_training(const FtTrainConfig& cfg) {
   // bump allocator is deterministic: same bases), seeds both memories from
   // the restored images and fast-forwards the clock to the recovery point.
   auto build_session = [&](sim::Time resume_at) {
+    // ft.* totals must survive a device crash even though the coherent
+    // domain (and with it the telemetry registry) is rebuilt: carry the
+    // old session's values into the new one.
+    double ckpt_bytes = 0.0;
+    double dirty_lines = 0.0;
+    double recovery_us = 0.0;
+    if (session != nullptr) {
+      ckpt_bytes = session->metrics().value("ft.checkpoint_bytes");
+      dirty_lines = session->metrics().value("ft.dirty_lines");
+      recovery_us = session->metrics().value("ft.recovery_us");
+    }
     session = std::make_unique<core::Session>(apply_degraded(scfg, degraded));
     pbase = session->allocate_parameters("ft_params", bytes);
     gbase = session->allocate_gradients("ft_grads", bytes);
@@ -83,6 +95,10 @@ FtTrainResult run_ft_training(const FtTrainConfig& cfg) {
     session->add_observer(&injector);
     session->set_link_fault_hook(&injector);
     session->advance(resume_at);
+    obs::MetricsRegistry& reg = session->metrics();
+    reg.counter("ft.checkpoint_bytes").add(ckpt_bytes);
+    reg.counter("ft.dirty_lines").add(dirty_lines);
+    reg.counter("ft.recovery_us").add(recovery_us);
   };
   build_session(0.0);
 
@@ -202,6 +218,9 @@ FtTrainResult run_ft_training(const FtTrainConfig& cfg) {
       session->advance(r.exposed_time);
       last_durable_time = session->now();
       gantt.add("pmem", 'C', c0, c0 + r.media_time);
+      obs::MetricsRegistry& reg = session->metrics();
+      reg.counter("ft.checkpoint_bytes").add(static_cast<double>(r.bytes));
+      reg.counter("ft.dirty_lines").add(static_cast<double>(r.lines));
     }
 
     if (recoveries < cfg.max_recoveries &&
@@ -238,6 +257,8 @@ FtTrainResult run_ft_training(const FtTrainConfig& cfg) {
       res.final_degraded = degraded;
       engine.mark_all_dirty();
       build_session(crash_time + plan.restore_time);
+      session->metrics().counter("ft.recovery_us")
+          .add(plan.restore_time * 1e6);
       step = plan.resume_step;
       continue;
     }

@@ -1,0 +1,36 @@
+// Minimal JSON emission helpers shared by the obs writers. Emission only —
+// the repo never parses JSON in C++; scripts/ do that in python.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace teco::obs {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// JSON has no Inf/NaN; map them to null so files stay loadable.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace teco::obs

@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace teco::obs {
+
+std::string_view to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  __builtin_unreachable();
+}
+
+namespace {
+
+[[noreturn]] void kind_clash(std::string_view name, MetricKind have,
+                             MetricKind want) {
+  throw std::logic_error("obs: metric '" + std::string(name) +
+                         "' already registered as " +
+                         std::string(to_string(have)) + ", requested as " +
+                         std::string(to_string(want)));
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = MetricKind::kCounter;
+    inst.counter = std::make_unique<Counter>();
+    it = instruments_.emplace(std::string(name), std::move(inst)).first;
+  } else if (it->second.kind != MetricKind::kCounter) {
+    kind_clash(name, it->second.kind, MetricKind::kCounter);
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = MetricKind::kGauge;
+    inst.gauge = std::make_unique<Gauge>();
+    it = instruments_.emplace(std::string(name), std::move(inst)).first;
+  } else if (it->second.kind != MetricKind::kGauge) {
+    kind_clash(name, it->second.kind, MetricKind::kGauge);
+  }
+  return *it->second.gauge;
+}
+
+Hist& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                 std::size_t bins) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = MetricKind::kHistogram;
+    inst.hist = std::make_unique<Hist>(lo, hi, bins);
+    it = instruments_.emplace(std::string(name), std::move(inst)).first;
+  } else if (it->second.kind != MetricKind::kHistogram) {
+    kind_clash(name, it->second.kind, MetricKind::kHistogram);
+  }
+  return *it->second.hist;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end() || it->second.kind != MetricKind::kCounter) {
+    return nullptr;
+  }
+  return it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end() || it->second.kind != MetricKind::kGauge) {
+    return nullptr;
+  }
+  return it->second.gauge.get();
+}
+
+const Hist* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end() ||
+      it->second.kind != MetricKind::kHistogram) {
+    return nullptr;
+  }
+  return it->second.hist.get();
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  flush();
+  // Exact counter/gauge name first, then the expanded histogram samples.
+  if (const auto* c = find_counter(name)) return c->value();
+  if (const auto* g = find_gauge(name)) return g->value();
+  for (const Sample& s : samples()) {
+    if (s.name == name) return s.value;
+  }
+  return 0.0;
+}
+
+std::vector<Sample> MetricsRegistry::samples() const {
+  flush();
+  std::vector<Sample> out;
+  out.reserve(instruments_.size());
+  for (const auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case MetricKind::kCounter:
+        out.push_back({name, inst.counter->value(), MetricKind::kCounter,
+                       /*monotone=*/true});
+        break;
+      case MetricKind::kGauge:
+        out.push_back({name, inst.gauge->value(), MetricKind::kGauge,
+                       /*monotone=*/false});
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = *inst.hist;
+        const auto& st = h.stat();
+        out.push_back({name + ".count", static_cast<double>(st.count()),
+                       MetricKind::kHistogram, true});
+        out.push_back({name + ".sum", st.sum(), MetricKind::kHistogram,
+                       true});
+        out.push_back({name + ".mean", st.mean(), MetricKind::kHistogram,
+                       false});
+        out.push_back({name + ".p50", h.quantile(0.50),
+                       MetricKind::kHistogram, false});
+        out.push_back({name + ".p95", h.quantile(0.95),
+                       MetricKind::kHistogram, false});
+        out.push_back({name + ".p99", h.quantile(0.99),
+                       MetricKind::kHistogram, false});
+        out.push_back({name + ".max", st.max(), MetricKind::kHistogram,
+                       false});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::add_flusher(const void* owner,
+                                  std::function<void()> fn) {
+  remove_flusher(owner);
+  flushers_.emplace_back(owner, std::move(fn));
+}
+
+void MetricsRegistry::remove_flusher(const void* owner) {
+  std::erase_if(flushers_,
+                [owner](const auto& f) { return f.first == owner; });
+}
+
+void MetricsRegistry::flush() const {
+  for (const auto& [owner, fn] : flushers_) fn();
+}
+
+void MetricsRegistry::reset() {
+  // Drain deferred deltas first so they are zeroed below instead of being
+  // folded in by the next read.
+  flush();
+  for (auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case MetricKind::kCounter: inst.counter->reset(); break;
+      case MetricKind::kGauge: inst.gauge->reset(); break;
+      case MetricKind::kHistogram: inst.hist->reset(); break;
+    }
+  }
+}
+
+}  // namespace teco::obs

@@ -1,0 +1,123 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace teco::obs {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[32];
+  // Counters are usually integers; print them as such, times as decimals.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonlWriter::to_json_line(const StepSnapshot& snap) {
+  std::string out = "{\"step\":" + std::to_string(snap.step);
+  out += ",\"t_begin_us\":" + json_number(snap.t_begin * 1e6);
+  out += ",\"t_end_us\":" + json_number(snap.t_end * 1e6);
+  out += ",\"deltas\":{";
+  bool first = true;
+  for (const Sample& s : snap.deltas) {
+    if (s.value == 0.0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(s.name) + "\":" + json_number(s.value);
+  }
+  out += "},\"totals\":{";
+  first = true;
+  for (const Sample& s : snap.totals) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(s.name) + "\":" + json_number(s.value);
+  }
+  out += "}}";
+  return out;
+}
+
+void JsonlWriter::on_step(const StepSnapshot& snap) {
+  os_ << to_json_line(snap) << '\n';
+  os_.flush();
+}
+
+std::string to_prometheus_text(const MetricsRegistry& reg) {
+  std::string out;
+  for (const Sample& s : reg.samples()) {
+    std::string name = "teco_" + s.name;
+    std::replace(name.begin(), name.end(), '.', '_');
+    out += "# TYPE " + name + ' ';
+    out += s.kind == MetricKind::kCounter && s.monotone ? "counter" : "gauge";
+    out += '\n';
+    out += name + ' ' + json_number(s.value) + '\n';
+  }
+  return out;
+}
+
+std::vector<std::array<std::string, 3>> snapshot_rows(
+    const StepSnapshot& snap) {
+  std::vector<std::array<std::string, 3>> rows;
+  // deltas[i] pairs with the monotone subset of totals; index totals by
+  // name for the join so reordering bugs cannot silently misalign rows.
+  for (const Sample& t : snap.totals) {
+    double delta = 0.0;
+    bool has_delta = false;
+    for (const Sample& d : snap.deltas) {
+      if (d.name == t.name) {
+        delta = d.value;
+        has_delta = true;
+        break;
+      }
+    }
+    if (t.value == 0.0 && (!has_delta || delta == 0.0)) continue;
+    rows.push_back({t.name, has_delta ? format_value(delta) : "-",
+                    format_value(t.value)});
+  }
+  return rows;
+}
+
+void StepPublisher::add_sink(StepSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void StepPublisher::remove_sink(StepSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+}
+
+StepSnapshot StepPublisher::publish(const MetricsRegistry& reg,
+                                    std::size_t step, sim::Time t_begin,
+                                    sim::Time t_end) {
+  StepSnapshot snap;
+  snap.step = step;
+  snap.t_begin = t_begin;
+  snap.t_end = t_end;
+  snap.totals = reg.samples();
+  for (const Sample& s : snap.totals) {
+    if (!s.monotone) continue;
+    double prev = 0.0;
+    for (const Sample& p : prev_) {
+      if (p.name == s.name) {
+        prev = p.value;
+        break;
+      }
+    }
+    Sample d = s;
+    d.value = s.value - prev;
+    snap.deltas.push_back(std::move(d));
+  }
+  prev_ = snap.totals;
+  for (StepSink* sink : sinks_) sink->on_step(snap);
+  return snap;
+}
+
+}  // namespace teco::obs

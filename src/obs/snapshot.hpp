@@ -1,0 +1,88 @@
+// teco::obs — end-of-step snapshots and their sinks.
+//
+// A StepSnapshot is the registry's view of one training step: every
+// instrument's total at the step boundary plus, for monotone samples, the
+// delta accrued during the step. core::Session publishes one per
+// optimizer_step_complete(); ft::run_ft_training and the activation
+// timeline ride the same path. Sinks are deliberately dumb — a JSONL
+// appender for machine consumption, a Prometheus text-format writer for
+// scripts/, and a plain formatter the core::TextTable adapter wraps for
+// humans.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace teco::obs {
+
+struct StepSnapshot {
+  std::size_t step = 0;
+  sim::Time t_begin = 0.0;
+  sim::Time t_end = 0.0;
+  /// All registry samples at the end of the step, sorted by name.
+  std::vector<Sample> totals;
+  /// Per-step deltas of the monotone samples (counters, histogram
+  /// count/sum), same order as the corresponding totals entries.
+  std::vector<Sample> deltas;
+};
+
+class StepSink {
+ public:
+  virtual ~StepSink() = default;
+  virtual void on_step(const StepSnapshot& snap) = 0;
+};
+
+/// One JSON object per line:
+///   {"step":3,"t_begin_us":...,"t_end_us":...,
+///    "deltas":{"cxl.up.bytes":4096,...},"totals":{...}}
+/// Zero-valued deltas are elided (steps that touch a subsystem lightly
+/// stay readable); totals are complete.
+class JsonlWriter final : public StepSink {
+ public:
+  explicit JsonlWriter(std::ostream& os) : os_(os) {}
+  void on_step(const StepSnapshot& snap) override;
+
+  static std::string to_json_line(const StepSnapshot& snap);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Prometheus text exposition format (# TYPE lines + samples). Dots are
+/// mapped to underscores per Prometheus naming rules; the file is
+/// rewritten whole on every step so scrapers always see current totals.
+std::string to_prometheus_text(const MetricsRegistry& reg);
+
+/// Human-oriented rows: one "name  delta  total" line per non-zero metric.
+/// core::report wraps this into a TextTable; obs itself stays below core.
+std::vector<std::array<std::string, 3>> snapshot_rows(
+    const StepSnapshot& snap);
+
+/// Computes snapshots (tracking previous totals for the deltas) and fans
+/// them out to the attached sinks. Sinks are borrowed, not owned.
+class StepPublisher {
+ public:
+  void add_sink(StepSink* sink);
+  void remove_sink(StepSink* sink);
+  bool has_sinks() const { return !sinks_.empty(); }
+
+  /// Build the snapshot for [t_begin, t_end], update the delta baseline,
+  /// and deliver it to every sink.
+  StepSnapshot publish(const MetricsRegistry& reg, std::size_t step,
+                       sim::Time t_begin, sim::Time t_end);
+
+  /// Forget the delta baseline (next snapshot's deltas == totals).
+  void rebase() { prev_.clear(); }
+
+ private:
+  std::vector<StepSink*> sinks_;
+  std::vector<Sample> prev_;
+};
+
+}  // namespace teco::obs

@@ -1,0 +1,89 @@
+// teco::obs — span tracing on the simulated clock.
+//
+// A Span marks a [begin, end] interval on sim::Time and lands in a
+// TraceBuffer; core::ChromeTraceComposer splices buffers, Gantt lanes and
+// counter tracks into one Chrome/Perfetto trace_event JSON per run.
+//
+// Spans are RAII against the *simulated* clock, which has no global "now":
+// construct with a pointer to the owner's clock variable and the span
+// closes at whatever that clock reads on destruction —
+//
+//   obs::Span s(&spans_, "step", "step 12", &now_);
+//   ... advance now_ through fences and compute ...
+//   // ~Span records [begin, now_]
+//
+// or close explicitly with close(end) when the end time is computed rather
+// than tracked. A null buffer makes every operation a no-op, so call sites
+// need no `if (tracing)` guards.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace teco::obs {
+
+struct SpanEvent {
+  std::string lane;  ///< Row in the viewer ("step", "tier.prefetch", ...).
+  std::string name;  ///< Event label ("step 12", "t7 evict", ...).
+  sim::Time begin = 0.0;
+  sim::Time end = 0.0;
+};
+
+class TraceBuffer {
+ public:
+  void emit(std::string lane, std::string name, sim::Time begin,
+            sim::Time end) {
+    events_.push_back(
+        {std::move(lane), std::move(name), begin, begin > end ? begin : end});
+  }
+
+  const std::vector<SpanEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII interval. Exactly one of close(end) / the clock pointer supplies
+/// the end time; with neither, the span degenerates to an instant at
+/// `begin` (still visible in the trace, still better than silence).
+class Span {
+ public:
+  Span(TraceBuffer* buf, std::string lane, std::string name, sim::Time begin,
+       const sim::Time* clock = nullptr)
+      : buf_(buf), lane_(std::move(lane)), name_(std::move(name)),
+        begin_(begin), clock_(clock) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Record the span now with an explicit end time; destruction becomes a
+  /// no-op afterwards.
+  void close(sim::Time end) {
+    if (buf_ != nullptr) {
+      buf_->emit(std::move(lane_), std::move(name_), begin_, end);
+    }
+    buf_ = nullptr;
+  }
+
+  ~Span() {
+    if (buf_ != nullptr) {
+      close(clock_ != nullptr ? *clock_ : begin_);
+    }
+  }
+
+ private:
+  TraceBuffer* buf_;
+  std::string lane_;
+  std::string name_;
+  sim::Time begin_;
+  const sim::Time* clock_;
+};
+
+}  // namespace teco::obs

@@ -18,6 +18,9 @@
 
 #include "check/tier_checker.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "offload/calibration.hpp"
 #include "offload/runtime.hpp"
 #include "offload/step_model.hpp"
@@ -37,6 +40,14 @@ struct ActivationTimelineOptions {
   std::uint8_t dirty_bytes = 2;  ///< DBA payload on the parameter stream.
   /// Optional invariant observer (e.g. check::TierInvariantChecker).
   check::TierObserver* observer = nullptr;
+  /// Optional telemetry. `metrics` accumulates tier.*, offload.* and step.*
+  /// counters; `spans` receives phase + tier.{fetch,evict,stall} intervals;
+  /// `publisher` (with `metrics`) gets an end-of-step StepSnapshot labeled
+  /// `step_index`.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceBuffer* spans = nullptr;
+  obs::StepPublisher* publisher = nullptr;
+  std::size_t step_index = 0;
 };
 
 struct ActivationStepReport {

@@ -40,6 +40,26 @@ Time paced_line_stream(Channel& ch, Time t_start, Time window,
 
 namespace {
 
+/// The one wire-accounting sink every runtime timeline ends with: fill the
+/// breakdown's totals from the channel stats and mirror them onto the
+/// registry when one is attached. Replaces three hand-rolled copies.
+void harvest_wire(StepBreakdown& b, const Channel& up, const Channel& down,
+                  obs::MetricsRegistry* reg) {
+  b.bytes_to_cpu = up.stats().payload_bytes;
+  b.bytes_to_device = down.stats().payload_bytes;
+  b.packets = up.stats().packets + down.stats().packets;
+  if (reg != nullptr) {
+    reg->counter("offload.up.payload_bytes")
+        .add(static_cast<double>(b.bytes_to_cpu));
+    reg->counter("offload.down.payload_bytes")
+        .add(static_cast<double>(b.bytes_to_device));
+    reg->counter("offload.up.packets")
+        .add(static_cast<double>(up.stats().packets));
+    reg->counter("offload.down.packets")
+        .add(static_cast<double>(down.stats().packets));
+  }
+}
+
 /// Bulk demand fetch under the invalidation protocol. Unlike the update
 /// protocol's pushes, demand reads are request/response: at most the
 /// pending-queue depth of line fetches is in flight, so throughput is
@@ -62,7 +82,8 @@ Time demand_fetch(const Calibration& cal, Channel& data_ch, Time t_start,
 }
 
 StepBreakdown simulate_zero_offload(const StepInputs& in,
-                                    const Calibration& cal, bool dpu) {
+                                    const Calibration& cal, bool dpu,
+                                    obs::MetricsRegistry* reg) {
   const auto& phy = cal.phy;
   Channel up("dma-up", phy.dma_bandwidth(), phy.dma_setup_latency);
   Channel down("dma-down", phy.dma_bandwidth(), phy.dma_setup_latency);
@@ -118,15 +139,14 @@ StepBreakdown simulate_zero_offload(const StepInputs& in,
     b.param_transfer_exposed = param_xfer;
   }
 
-  b.bytes_to_cpu = up.stats().payload_bytes;
-  b.bytes_to_device = down.stats().payload_bytes;
-  b.packets = up.stats().packets + down.stats().packets;
+  harvest_wire(b, up, down, reg);
   return b;
 }
 
 StepBreakdown simulate_teco_update(const StepInputs& in,
                                    const Calibration& cal, bool dba,
-                                   std::uint8_t dirty_bytes) {
+                                   std::uint8_t dirty_bytes,
+                                   obs::MetricsRegistry* reg) {
   const auto& phy = cal.phy;
   Channel up("cxl-up", phy.cxl_bandwidth(), phy.packet_latency,
              cal.cxl_queue_entries);
@@ -164,14 +184,13 @@ StepBreakdown simulate_teco_update(const StepInputs& in,
   // CXLFENCE() at the end of optimizer.step().
   b.param_transfer_exposed = std::max(0.0, params_done - opt_end);
 
-  b.bytes_to_cpu = up.stats().payload_bytes;
-  b.bytes_to_device = down.stats().payload_bytes;
-  b.packets = up.stats().packets + down.stats().packets;
+  harvest_wire(b, up, down, reg);
   return b;
 }
 
 StepBreakdown simulate_invalidation(const StepInputs& in,
-                                    const Calibration& cal) {
+                                    const Calibration& cal,
+                                    obs::MetricsRegistry* reg) {
   const auto& phy = cal.phy;
   Channel up("cxl-up", phy.cxl_bandwidth(), phy.packet_latency,
              cal.cxl_queue_entries);
@@ -199,9 +218,7 @@ StepBreakdown simulate_invalidation(const StepInputs& in,
   const Time params_done = demand_fetch(cal, down, opt_end, in.param_lines);
   b.param_transfer_exposed = params_done - opt_end;
 
-  b.bytes_to_cpu = up.stats().payload_bytes;
-  b.bytes_to_device = down.stats().payload_bytes;
-  b.packets = up.stats().packets + down.stats().packets;
+  harvest_wire(b, up, down, reg);
   return b;
 }
 
@@ -224,15 +241,17 @@ StepBreakdown simulate_step(RuntimeKind kind, const dl::ModelConfig& model,
   const StepInputs in = compute_step_inputs(model, batch, cal);
   switch (kind) {
     case RuntimeKind::kZeroOffload:
-      return simulate_zero_offload(in, cal, /*dpu=*/false);
+      return simulate_zero_offload(in, cal, /*dpu=*/false, opts.metrics);
     case RuntimeKind::kZeroOffloadDpu:
-      return simulate_zero_offload(in, cal, /*dpu=*/true);
+      return simulate_zero_offload(in, cal, /*dpu=*/true, opts.metrics);
     case RuntimeKind::kCxlInvalidation:
-      return simulate_invalidation(in, cal);
+      return simulate_invalidation(in, cal, opts.metrics);
     case RuntimeKind::kTecoCxl:
-      return simulate_teco_update(in, cal, /*dba=*/false, opts.dirty_bytes);
+      return simulate_teco_update(in, cal, /*dba=*/false, opts.dirty_bytes,
+                                  opts.metrics);
     case RuntimeKind::kTecoReduction:
-      return simulate_teco_update(in, cal, /*dba=*/true, opts.dirty_bytes);
+      return simulate_teco_update(in, cal, /*dba=*/true, opts.dirty_bytes,
+                                  opts.metrics);
   }
   return {};
 }

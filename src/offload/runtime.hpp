@@ -29,6 +29,7 @@
 
 #include "cxl/channel.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/metrics.hpp"
 #include "offload/calibration.hpp"
 #include "offload/step_model.hpp"
 #include "sim/time.hpp"
@@ -73,6 +74,10 @@ struct StepBreakdown {
 
 struct StepOptions {
   std::uint8_t dirty_bytes = 2;  ///< For kTecoReduction.
+  /// When set, the step's wire totals are also recorded as
+  /// offload.{up,down}.{payload_bytes,packets} counters (accumulating
+  /// across steps; read per-step deltas via a StepPublisher).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Simulate one steady-state training step.

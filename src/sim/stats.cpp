@@ -69,6 +69,24 @@ double Histogram::fraction(std::size_t i) const {
   return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
 }
 
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  // Walk the cumulative mass: underflow (at lo_), the bins, overflow (at
+  // hi_). The interpolation assumes samples spread uniformly in a bin.
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c > 0.0 && target <= cum + c) {
+      return bin_lo(i) + width_ * (target - cum) / c;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
 void CounterSet::add(const std::string& name, std::uint64_t delta) {
   for (auto& [k, v] : counters_) {
     if (k == name) {

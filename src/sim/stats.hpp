@@ -48,6 +48,13 @@ class Histogram {
   /// Fraction of all samples (incl. under/overflow) in bin i.
   double fraction(std::size_t i) const;
 
+  /// The q-quantile (q in [0, 1]) with linear interpolation inside the
+  /// containing bin. Under/overflow mass is treated as concentrated at lo
+  /// and hi respectively — the histogram cannot resolve beyond its range,
+  /// so the bound is the honest answer. Returns 0.0 for an empty
+  /// histogram. q is clamped to [0, 1].
+  double quantile(double q) const;
+
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "cxl/packet.hpp"
 
@@ -81,6 +82,10 @@ sim::Time MigrationScheduler::transfer(sim::Time t, std::uint32_t tensor,
     end = ch->submit(t, pkt).delivered;
   }
   res_.transfers.push_back({t, end, from, to, tensor, bytes, prefetch});
+  if (trace_ != nullptr) {
+    trace_->emit(to == Tier::kHbm ? "tier.fetch" : "tier.evict",
+                 "t" + std::to_string(tensor), t, end);
+  }
   if (obs_ != nullptr) {
     obs_->on_tier_migration(t, tensor, static_cast<std::uint8_t>(from),
                             static_cast<std::uint8_t>(to), bytes, end,
@@ -89,13 +94,20 @@ sim::Time MigrationScheduler::transfer(sim::Time t, std::uint32_t tensor,
   return end;
 }
 
+void MigrationScheduler::charge_stall(sim::Time from, sim::Time to) {
+  res_.stall_time += to - from;
+  res_.stalls.push_back({from, to});
+  m_.stall_us->add((to - from) * 1e6);
+  if (trace_ != nullptr) trace_->emit("tier.stall", "stall", from, to);
+}
+
 sim::Time MigrationScheduler::issue_fetch(sim::Time t, std::uint32_t tensor) {
   auto& st = state_[tensor];
   const Tier home = plan_.home[tensor];
   const sim::Time end = transfer(t, tensor, home, Tier::kHbm, true);
   st.fetching = true;
   st.hbm_ready = end;
-  res_.prefetch_bytes += prof_.tensors[tensor].bytes;
+  m_.prefetch_bytes->add(static_cast<double>(prof_.tensors[tensor].bytes));
   // Delivery flips residency on the queue, so slots after the landing see
   // the tensor in HBM without polling. The guard keeps a flip from firing
   // for a tensor that died (state reset) while the fetch was in flight.
@@ -115,7 +127,8 @@ sim::Time MigrationScheduler::require(sim::Time t, std::uint32_t tensor) {
   if (st.in_hbm) return t;
   if (st.fetching) return std::max(t, st.hbm_ready);
   // Demand fetch from the home tier, fully exposed.
-  res_.demand_fetches += 1;
+  m_.demand_fetches->add();
+  st.prefetched = false;
   return issue_fetch(t, tensor);
 }
 
@@ -137,7 +150,8 @@ void MigrationScheduler::try_issue_prefetches(std::size_t horizon_slot,
       continue;
     }
     issue_fetch(t, pf.tensor);
-    res_.prefetches += 1;
+    st.prefetched = true;
+    m_.prefetches->add();
   }
   pending_ = std::move(keep);
 }
@@ -158,8 +172,8 @@ sim::Time MigrationScheduler::evict(sim::Time t, std::uint32_t tensor) {
   st.in_lower = true;
   occ_change(end, Tier::kHbm, -static_cast<std::int64_t>(bytes));
   occ_change(end, home, static_cast<std::int64_t>(bytes));
-  res_.evictions += 1;
-  res_.evict_bytes += bytes;
+  m_.evictions->add();
+  m_.evict_bytes->add(static_cast<double>(bytes));
   return end;
 }
 
@@ -189,6 +203,10 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
   sim::Time ready_all = t;
   for (const auto& [id, idx] : consumers_[g]) {
     const auto& st = state_[id];
+    // A hit: the consume finds the tensor resident (or already inbound)
+    // because a prefetch put it there — the quantity the prefetch-depth
+    // autotuner wants maximized.
+    if (st.prefetched && (st.in_hbm || st.fetching)) m_.prefetch_hits->add();
     pres.push_back({id, idx,
                     st.in_hbm ? static_cast<std::uint8_t>(Tier::kHbm)
                               : static_cast<std::uint8_t>(plan_.home[id]),
@@ -200,10 +218,7 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
       obs_->on_tier_access(t, p.id, p.resident, p.in_hbm, ready_all - t);
     }
   }
-  if (ready_all > t) {
-    res_.stall_time += ready_all - t;
-    res_.stalls.push_back({t, ready_all});
-  }
+  if (ready_all > t) charge_stall(t, ready_all);
 
   // Retire the consumes; free dead activations, re-park gap tensors.
   for (const auto& p : pres) {
@@ -267,8 +282,7 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
         const sim::Time ev_end = evict(end, id);
         if (plan_.policy == Policy::kNaiveSwap && ev_end > end) {
           // Write-through: forward blocks until the line stream lands.
-          res_.stall_time += ev_end - end;
-          res_.stalls.push_back({end, ev_end});
+          charge_stall(end, ev_end);
           end = ev_end;
         }
       }
@@ -283,6 +297,19 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
   q.schedule_at(end, [this, &q, g] { exec_slot(q, g + 1, q.now()); });
 }
 
+MigrationScheduler::Handles MigrationScheduler::resolve_handles(
+    obs::MetricsRegistry& reg) {
+  Handles h;
+  h.prefetches = &reg.counter("tier.prefetches");
+  h.prefetch_bytes = &reg.counter("tier.prefetch_bytes");
+  h.prefetch_hits = &reg.counter("tier.prefetch_hits");
+  h.demand_fetches = &reg.counter("tier.demand_fetches");
+  h.evictions = &reg.counter("tier.evictions");
+  h.evict_bytes = &reg.counter("tier.evict_bytes");
+  h.stall_us = &reg.counter("tier.stall_us");
+  return h;
+}
+
 ScheduleResult MigrationScheduler::run(sim::EventQueue& q, cxl::Channel& up,
                                        cxl::Channel& down) {
   q_ = &q;
@@ -290,6 +317,23 @@ ScheduleResult MigrationScheduler::run(sim::EventQueue& q, cxl::Channel& up,
   down_ = &down;
   res_ = {};
   occ_bytes_ = {};
+
+  // tier.* counters accumulate in the attached registry (or a private one,
+  // so recording is branch-free either way); the run's share is the delta.
+  obs::MetricsRegistry& reg = ext_reg_ != nullptr ? *ext_reg_ : local_reg_;
+  m_ = resolve_handles(reg);
+  const obs::Counter* const handles[] = {
+      m_.prefetches,   m_.prefetch_bytes, m_.prefetch_hits,
+      m_.demand_fetches, m_.evictions,    m_.evict_bytes,
+      m_.stall_us};
+  static constexpr const char* kNames[] = {
+      "tier.prefetches",     "tier.prefetch_bytes", "tier.prefetch_hits",
+      "tier.demand_fetches", "tier.evictions",      "tier.evict_bytes",
+      "tier.stall_us"};
+  double base[std::size(kNames)];
+  for (std::size_t i = 0; i < std::size(kNames); ++i) {
+    base[i] = handles[i]->value();
+  }
 
   // Initial residency: weights start parked in their home tier.
   const sim::Time t0 = q.now();
@@ -315,6 +359,11 @@ ScheduleResult MigrationScheduler::run(sim::EventQueue& q, cxl::Channel& up,
                      [](const auto& a, const auto& b) {
                        return a.first < b.first;
                      });
+  }
+  res_.metrics.reserve(std::size(kNames));
+  for (std::size_t i = 0; i < std::size(kNames); ++i) {
+    res_.metrics.push_back({kNames[i], handles[i]->value() - base[i],
+                            obs::MetricKind::kCounter, true});
   }
   return res_;
 }

@@ -26,6 +26,8 @@
 
 #include "check/tier_checker.hpp"
 #include "cxl/channel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "offload/calibration.hpp"
 #include "sim/event_queue.hpp"
 #include "tier/placement_planner.hpp"
@@ -54,16 +56,25 @@ struct ScheduleResult {
   sim::Time backward_end = 0.0;  ///< End of compute, with stalls.
   sim::Time stall_time = 0.0;
   std::vector<std::pair<sim::Time, sim::Time>> stalls;  ///< Stalled spans.
-  std::uint64_t prefetch_bytes = 0;
-  std::uint64_t evict_bytes = 0;
-  std::uint64_t prefetches = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t demand_fetches = 0;  ///< Fetches issued at consume time.
   std::array<OccupancySeries, kTierCount> occupancy;
   std::vector<Transfer> transfers;
+  /// tier.* registry deltas for this run (tier.prefetches,
+  /// tier.prefetch_bytes, tier.prefetch_hits, tier.demand_fetches,
+  /// tier.evictions, tier.evict_bytes, tier.stall_us) — the scheduler's
+  /// bespoke counter fields migrated onto the one instrumentation spine.
+  std::vector<obs::Sample> metrics;
+
+  /// Value of a tier.* delta by full dotted name; 0.0 when absent.
+  double metric(std::string_view name) const {
+    for (const obs::Sample& s : metrics) {
+      if (s.name == name) return s.value;
+    }
+    return 0.0;
+  }
 
   std::uint64_t migrated_bytes() const {
-    return prefetch_bytes + evict_bytes;
+    return static_cast<std::uint64_t>(metric("tier.prefetch_bytes") +
+                                      metric("tier.evict_bytes"));
   }
 };
 
@@ -81,6 +92,14 @@ class MigrationScheduler {
       std::function<void(bool, std::uint32_t, sim::Time, sim::Time)>;
   void set_slot_hook(SlotHook hook) { hook_ = std::move(hook); }
 
+  /// Record tier.* counters into `reg` instead of the scheduler's private
+  /// registry (nullptr reverts). Handles are resolved at run() start; the
+  /// run's deltas land in ScheduleResult::metrics either way.
+  void set_metrics(obs::MetricsRegistry* reg) { ext_reg_ = reg; }
+
+  /// Emit tier.{fetch,evict}/tier.stall spans into `buf` (nullptr = off).
+  void set_trace(obs::TraceBuffer* buf) { trace_ = buf; }
+
   /// Run the step to completion on `q`, submitting CXL migrations to
   /// `up` (device -> CPU: evictions) and `down` (CPU -> device:
   /// prefetches and demand fetches).
@@ -92,6 +111,7 @@ class MigrationScheduler {
     bool in_hbm = false;
     bool in_lower = false;
     bool fetching = false;
+    bool prefetched = false;  ///< Current residency came from a prefetch.
     sim::Time hbm_ready = 0.0;
     std::size_t consumed = 0;  ///< Retired consume count.
   };
@@ -120,6 +140,24 @@ class MigrationScheduler {
   const offload::Calibration& cal_;
   check::TierObserver* obs_;
   SlotHook hook_;
+
+  /// Resolved tier.* handles, valid for the duration of one run().
+  struct Handles {
+    obs::Counter* prefetches = nullptr;
+    obs::Counter* prefetch_bytes = nullptr;
+    obs::Counter* prefetch_hits = nullptr;
+    obs::Counter* demand_fetches = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* evict_bytes = nullptr;
+    obs::Counter* stall_us = nullptr;
+  };
+  Handles resolve_handles(obs::MetricsRegistry& reg);
+  void charge_stall(sim::Time from, sim::Time to);
+
+  obs::MetricsRegistry* ext_reg_ = nullptr;
+  obs::MetricsRegistry local_reg_;  ///< Used when no registry is attached.
+  obs::TraceBuffer* trace_ = nullptr;
+  Handles m_;
 
   sim::EventQueue* q_ = nullptr;
   cxl::Channel* up_ = nullptr;

@@ -11,6 +11,7 @@
 #include "cxl/link.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace teco::coherence {
 namespace {
@@ -301,6 +302,51 @@ TEST(HomeAgent, VolumeAccountingPerDirection) {
             640u);
   EXPECT_EQ(h.link.channel(cxl::Direction::kDeviceToCpu).stats().payload_bytes,
             256u);
+}
+
+TEST(HomeAgent, ObsCountersMatchCheckerInvariantCounts) {
+  // The registry records at the link choke point — the same place the
+  // protocol checker's flit-conservation invariant observes every packet.
+  // The two countings must agree exactly; a divergence means one of them
+  // is watching a side channel the other cannot see.
+  Harness h(Protocol::kUpdate);
+  obs::MetricsRegistry reg;
+  h.agent->set_metrics(&reg);
+  for (int i = 0; i < 12; ++i) {
+    h.agent->cpu_write_line(0.0, kParamBase + i * 64);
+  }
+  for (int i = 0; i < 5; ++i) {
+    h.agent->device_write_line(0.0, kGradBase + i * 64);
+  }
+  // m2s = CPU->device (dir 0), s2m = device->CPU (dir 1).
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("coherence.m2s.msgs")),
+            h.checker->packets_injected(0));
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("coherence.s2m.msgs")),
+            h.checker->packets_injected(1));
+  // Every message here is a data push: FlushData accounts for all of them.
+  EXPECT_DOUBLE_EQ(reg.value("coherence.m2s.flushdata"),
+                   reg.value("coherence.m2s.msgs"));
+  EXPECT_DOUBLE_EQ(reg.value("coherence.m2s.flushdata"), 12.0);
+  EXPECT_DOUBLE_EQ(reg.value("coherence.s2m.flushdata"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("coherence.m2s.snoop"), 0.0);
+  // Wire accounting: bytes and flits on the down channel cover 12 lines.
+  EXPECT_DOUBLE_EQ(reg.value("cxl.down.bytes"), 12.0 * 64.0);
+  EXPECT_GT(reg.value("cxl.down.flits"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.value("cxl.down.crc_errors"), 0.0);
+}
+
+TEST(HomeAgentInvalidation, ObsSnoopCounters) {
+  Harness h(Protocol::kInvalidation);
+  obs::MetricsRegistry reg;
+  h.agent->set_metrics(&reg);
+  // Device holds the line; a CPU write invalidates the remote copy.
+  h.agent->device_read_line(0.0, kParamBase);
+  h.agent->cpu_write_line(0.0, kParamBase);
+  EXPECT_GT(reg.value("coherence.m2s.snoop"), 0.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("coherence.m2s.msgs")),
+            h.checker->packets_injected(0));
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("coherence.s2m.msgs")),
+            h.checker->packets_injected(1));
 }
 
 }  // namespace

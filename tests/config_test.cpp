@@ -22,6 +22,9 @@ TEST(ConfigParser, ParsesAllKnownKeys) {
     ft_mode         = incremental
     ft_checkpoint_interval = 25
     ft_seed         = 99
+    obs_jsonl_path  = /tmp/steps.jsonl
+    obs_trace_path  = /tmp/trace.json
+    obs_step_log    = on
   )");
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.unknown_keys.empty());
@@ -35,6 +38,14 @@ TEST(ConfigParser, ParsesAllKnownKeys) {
   EXPECT_EQ(parsed.session.ft_mode, core::FtMode::kIncremental);
   EXPECT_EQ(parsed.session.ft_checkpoint_interval, 25u);
   EXPECT_EQ(parsed.session.ft_seed, 99u);
+  EXPECT_EQ(parsed.session.obs_jsonl_path, "/tmp/steps.jsonl");
+  EXPECT_EQ(parsed.session.obs_trace_path, "/tmp/trace.json");
+  EXPECT_TRUE(parsed.session.obs_step_log);
+}
+
+TEST(ConfigParser, ObsStepLogRejectsNonBool) {
+  EXPECT_FALSE(core::parse_config("obs_step_log = verbose").ok());
+  EXPECT_TRUE(core::parse_config("obs_step_log = off").ok());
 }
 
 TEST(ConfigParser, UnknownKeysAreCollectedNotFatal) {
@@ -112,6 +123,8 @@ TEST(ConfigParser, RoundTripsThroughSerializer) {
   cfg.ft_mode = core::FtMode::kFull;
   cfg.ft_checkpoint_interval = 12;
   cfg.ft_seed = 31337;
+  cfg.obs_jsonl_path = "/tmp/s.jsonl";
+  cfg.obs_step_log = true;
   const auto parsed = core::parse_config(core::to_config_text(cfg));
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.unknown_keys.empty());
@@ -119,6 +132,12 @@ TEST(ConfigParser, RoundTripsThroughSerializer) {
   EXPECT_EQ(parsed.session.ft_checkpoint_interval, 12u);
   EXPECT_EQ(parsed.session.ft_seed, 31337u);
   EXPECT_EQ(parsed.session.dirty_bytes, 1u);
+  EXPECT_EQ(parsed.session.obs_jsonl_path, "/tmp/s.jsonl");
+  EXPECT_TRUE(parsed.session.obs_step_log);
+  // Empty path keys are omitted from the serialized text entirely.
+  EXPECT_EQ(core::to_config_text(core::SessionConfig{})
+                .find("obs_trace_path"),
+            std::string::npos);
 }
 
 TEST(ConfigParser, MissingFileIsReported) {

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "core/report.hpp"
 #include "core/session.hpp"
@@ -244,6 +246,78 @@ TEST(Session, ListingOneTrainingLoop) {
   EXPECT_NEAR(dev[0], p[0], 0.005f);
   EXPECT_EQ(s.stats().demand_fetches, 0u);
   EXPECT_EQ(s.link().message_counts().get("Invalidate"), 0u);
+}
+
+TEST(SessionTelemetry, StepMetricsAndSnapshotsAccrue) {
+  Session s(update_config());
+  struct CapturingSink final : obs::StepSink {
+    std::vector<obs::StepSnapshot> snaps;
+    void on_step(const obs::StepSnapshot& snap) override {
+      snaps.push_back(snap);
+    }
+  };
+  CapturingSink sink;
+  s.step_publisher().add_sink(&sink);
+
+  const auto params = s.allocate_parameters("w", 1024);
+  std::vector<float> p(256, 1.0f);
+  for (std::size_t step = 0; step < 3; ++step) {
+    for (auto& v : p) v -= 0.001f;
+    s.cpu_write_parameters(params, p);
+    s.backward_complete();
+    s.optimizer_step_complete();
+  }
+  EXPECT_EQ(s.steps_completed(), 3u);
+  ASSERT_EQ(sink.snaps.size(), 3u);
+  EXPECT_EQ(sink.snaps[2].step, 2u);
+  // The link counters and step timing landed in the session registry.
+  EXPECT_GT(s.metrics().value("coherence.m2s.msgs"), 0.0);
+  EXPECT_GT(s.metrics().value("cxl.down.bytes"), 0.0);
+  EXPECT_GT(s.metrics().value("step.total_us"), 0.0);
+  EXPECT_GT(s.metrics().value("step.fence_drain_us"), 0.0);
+  // Fence drains emit spans plus one span per completed step.
+  std::size_t step_spans = 0;
+  for (const auto& e : s.spans().events()) {
+    if (e.lane == "step") ++step_spans;
+  }
+  EXPECT_EQ(step_spans, 3u);
+  // Snapshot deltas sum to the registry total for a monotone counter.
+  double sum = 0.0;
+  for (const auto& snap : sink.snaps) {
+    for (const auto& d : snap.deltas) {
+      if (d.name == "step.total_us") sum += d.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(sum, s.metrics().value("step.total_us"));
+}
+
+TEST(SessionTelemetry, JsonlAndTraceFilesWritten) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "teco_obs_test.jsonl";
+  const std::string trace = dir + "teco_obs_test_trace.json";
+  {
+    auto cfg = update_config();
+    cfg.obs_jsonl_path = jsonl;
+    cfg.obs_trace_path = trace;
+    Session s(cfg);
+    const auto params = s.allocate_parameters("w", 256);
+    std::vector<float> p(64, 2.0f);
+    s.cpu_write_parameters(params, p);
+    s.backward_complete();
+    s.optimizer_step_complete();
+  }  // ~Session writes the unified trace.
+  std::ifstream jf(jsonl);
+  ASSERT_TRUE(jf.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(jf, line));
+  EXPECT_NE(line.find("\"step\":0"), std::string::npos);
+  EXPECT_NE(line.find("cxl.down.bytes"), std::string::npos);
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good());
+  std::stringstream buf;
+  buf << tf.rdbuf();
+  EXPECT_NE(buf.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(buf.str().find("step 0"), std::string::npos);
 }
 
 TEST(SessionAllocator, RejectsZeroByteRegions) {

@@ -185,6 +185,45 @@ TEST(Histogram, BinningAndOverflow) {
   EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(2.5);  // All mass in bin [2, 3).
+  // target = q * 4 walks to bin 2; interpolation is linear in the bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.25);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  const Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileAllUnderflowReturnsLo) {
+  Histogram h(5.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  // And all-overflow mass sits at the upper bound.
+  Histogram o(5.0, 10.0, 5);
+  o.add(1e9);
+  EXPECT_DOUBLE_EQ(o.quantile(0.5), 10.0);
+}
+
+TEST(Histogram, QuantileSingleBinAndClamping) {
+  Histogram h(0.0, 4.0, 1);
+  h.add(1.0);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 TEST(CounterSet, AccumulatesAndSorts) {
   CounterSet c;
   c.add("b", 2);
