@@ -1,0 +1,78 @@
+// Happens-before trace lint (scripts/lint.sh, CI mc-exhaustive job).
+//
+// Runs a small BERT-style fine-tuning loop under `check = hb` and asks the
+// vector-clock analyzer (src/mc/hb_analyzer.hpp) whether the recorded
+// schedule is race-free. Two modes:
+//
+//   hb_lint            the disciplined Listing-1 loop: every cross-agent
+//                      access pair is ordered by a CXLFENCE. Expects a
+//                      clean report; exits 0 iff no race is found.
+//   hb_lint --planted  the device reads the parameters after the
+//                      optimizer's writes but *before* the optimizer
+//                      fence — the classic premature-consume bug TECO's
+//                      fences exist to prevent. Expects the analyzer to
+//                      flag every parameter line; exits 0 iff it does.
+//
+// Either way an unexpected outcome exits 1, which is what makes this a
+// lint: wiring it into CI pins both the analyzer's soundness on a healthy
+// schedule and its sensitivity to the canonical unfenced access.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/session.hpp"
+#include "mc/hb_analyzer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace teco;
+  const bool planted =
+      argc > 1 && std::strcmp(argv[1], "--planted") == 0;
+
+  core::SessionConfig cfg;
+  cfg.check_hb = true;    // check = hb: strict invariants + HB recording.
+  cfg.act_aft_steps = 1;  // DBA activates after the first step.
+
+  core::Session s(cfg);
+  constexpr std::size_t kFloats = 64;  // Four cache lines per region.
+  const std::vector<float> vals(kFloats, 1.0f);
+  const mem::Addr params = s.allocate_parameters("params", kFloats * 4);
+  const mem::Addr grads = s.allocate_gradients("grads", kFloats * 4);
+  s.seed_cpu_memory(params, vals);
+  s.seed_device_memory(grads, vals);
+
+  for (std::size_t step = 0; step < 3; ++step) {
+    (void)s.device_read_parameters(params, kFloats);  // Forward pass.
+    s.device_write_gradients(grads, vals);            // Backward pass.
+    s.backward_complete();                            // CXLFENCE().
+    s.check_activation(step);
+    (void)s.cpu_read_gradients(grads, kFloats);
+    s.cpu_write_parameters(params, vals);             // optimizer.step()
+    if (planted && step == 2) {
+      // Premature consume: the CPU's FlushData pushes are still in
+      // flight and no fence orders the device's loads after them.
+      (void)s.device_read_parameters(params, kFloats);
+    }
+    s.optimizer_step_complete();                      // CXLFENCE() + flush.
+  }
+
+  const mc::HbReport report = s.analyze_hb();
+  std::printf("hb_lint (%s): %s\n", planted ? "planted" : "clean",
+              report.to_string().c_str());
+
+  if (planted) {
+    // One race per parameter line, device read against CPU write.
+    const bool caught = report.races_total == 4;
+    if (!caught) {
+      std::fprintf(stderr,
+                   "FAIL: expected the planted pre-fence read to produce 4 "
+                   "races, got %llu\n",
+                   static_cast<unsigned long long>(report.races_total));
+    }
+    return caught ? 0 : 1;
+  }
+  if (!report.clean()) {
+    std::fputs("FAIL: the fenced training loop must be race-free\n", stderr);
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,21 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
+# --- Happens-before trace lint (teco::mc) -----------------------------------
+# When the hb_lint example is built, replay the reference training loop
+# under `check = hb` and fail on any unordered cross-agent access — plus
+# the planted-race mode, which must still be caught (analyzer sensitivity).
+# Skipped quietly when the binary is not built; static lint continues.
+hb_lint_bin="${TECO_BUILD_DIR:-build}/examples/hb_lint"
+if [[ -x "${hb_lint_bin}" ]]; then
+  echo "lint.sh: happens-before trace lint"
+  "${hb_lint_bin}"
+  "${hb_lint_bin}" --planted 2>/dev/null >/dev/null ||
+    { echo "lint.sh: hb_lint --planted missed the planted race" >&2; exit 1; }
+else
+  echo "lint.sh: ${hb_lint_bin} not built; skipping the HB trace lint"
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found; skipping lint (install LLVM to enable)"
   exit 0

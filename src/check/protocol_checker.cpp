@@ -330,12 +330,23 @@ void ProtocolChecker::check_data_after_op(Op op, mem::Addr line) {
     return;
   }
 
-  if (op == Op::kDeviceWrite && proto == Protocol::kUpdate) {
-    // Gradient push: the CPU-side copy must equal the device source.
-    if (opts_.cpu_mem->read_line(line) != opts_.device_mem->read_line(line)) {
-      report(ViolationKind::kDataValue,
-             "CPU copy of line " + hex(line) +
-                 " differs from the device push; " + line_history(line));
+  if (op == Op::kDeviceWrite) {
+    if (proto == Protocol::kUpdate) {
+      // Gradient push: the CPU-side copy must equal the device source.
+      if (opts_.cpu_mem->read_line(line) !=
+          opts_.device_mem->read_line(line)) {
+        report(ViolationKind::kDataValue,
+               "CPU copy of line " + hex(line) +
+                   " differs from the device push; " + line_history(line));
+        return;
+      }
+    }
+    if (region->dba_eligible) {
+      // The device is now the last writer: its bytes supersede any earlier
+      // push expectation, or a later device read of this line would be
+      // judged against a stale mirror.
+      li.expected_dev = opts_.device_mem->read_line(line);
+      li.has_expected_dev = true;
     }
     return;
   }

@@ -92,10 +92,18 @@ cxl::Delivery HomeAgent::push_line_to_device(sim::Time now, mem::Addr line,
 
   if (cpu_mem_ != nullptr && device_mem_ != nullptr) {
     const auto src = cpu_mem_->read_line(line);
-    const auto packed = aggregator_.pack(src);
-    const auto merged = disaggregator_.merge(device_mem_->read_line(line),
-                                             packed);
-    device_mem_->write_line(line, merged);
+    if (region.dba_eligible) {
+      const auto packed = aggregator_.pack(src);
+      const auto merged = disaggregator_.merge(device_mem_->read_line(line),
+                                               packed);
+      device_mem_->write_line(line, merged);
+    } else {
+      // Ineligible regions (gradients, demoted fallbacks) bypass the DBA
+      // units entirely: while the register is programmed, pack/merge would
+      // splice the line even though the packet above declares a full
+      // payload, leaving stale high bytes under a full-line push.
+      device_mem_->write_line(line, src);
+    }
   }
   const auto pkt = cxl::data_packet(cxl::MessageType::kFlushData,
                                     mem::line_base(line), payload, trim);
@@ -352,6 +360,12 @@ std::optional<cxl::Delivery> HomeAgent::device_write_line_impl(
     snoop_.remove_sharer(line, Sharer::kCpu);
     ++stats_.invalidations;
     trace(now, "Invalidate", line, "Cs->I");
+  }
+  if (gc_.state(line) == MesiState::kInvalid) {
+    // Write-allocate miss: ownership is granted (ItoM) before the store
+    // dirties the line — the same two-step the CPU-side write path takes,
+    // so the directory never sees a raw I->M transition.
+    gc_.set_state(line, MesiState::kExclusive);
   }
   gc_.set_state(line, MesiState::kModified);
   snoop_.add_sharer(line, Sharer::kDevice);

@@ -112,6 +112,10 @@ class HomeAgent {
 
   const HomeAgentStats& stats() const { return stats_; }
   const SnoopFilter& snoop_filter() const { return snoop_; }
+  /// Mutable directory access for fault injection and the model checker's
+  /// mutation hooks. Pokes through this still notify any attached observer,
+  /// so the strict checker judges them like any other transition.
+  SnoopFilter& snoop_filter() { return snoop_; }
   const dba::Aggregator& aggregator() const { return aggregator_; }
   const dba::Disaggregator& disaggregator() const { return disaggregator_; }
   const GiantCache& giant_cache() const { return gc_; }

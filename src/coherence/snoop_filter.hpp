@@ -52,6 +52,13 @@ class SnoopFilter {
            (it->second & static_cast<std::uint8_t>(who)) != 0;
   }
 
+  /// Raw sharer bitmask for `line` (0 when untracked). The model checker
+  /// folds this into its canonical state vector.
+  std::uint8_t sharer_mask(mem::Addr line) const {
+    const auto it = entries_.find(mem::line_index(line));
+    return it == entries_.end() ? 0 : it->second;
+  }
+
   std::size_t entries() const { return entries_.size(); }
   std::size_t peak_entries() const { return peak_entries_; }
 

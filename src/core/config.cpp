@@ -107,14 +107,20 @@ ParsedConfig parse_config(std::string_view text) {
         fail("trace must be on/off");
       }
     } else if (key == "check") {
+      // `hb` layers happens-before trace recording on top of strict
+      // checking; the other levels switch the recorder off (last wins).
+      out.session.check_hb = false;
       if (value == "off") {
         out.session.check = check::CheckLevel::kOff;
       } else if (value == "count") {
         out.session.check = check::CheckLevel::kCount;
       } else if (value == "strict") {
         out.session.check = check::CheckLevel::kStrict;
+      } else if (value == "hb") {
+        out.session.check = check::CheckLevel::kStrict;
+        out.session.check_hb = true;
       } else {
-        fail("check must be off/count/strict");
+        fail("check must be off/count/strict/hb");
       }
     } else if (key == "ft_mode") {
       if (value == "off") {
@@ -198,7 +204,8 @@ std::string to_config_text(const SessionConfig& cfg) {
   os << "dirty_bytes = " << static_cast<unsigned>(cfg.dirty_bytes) << "\n";
   os << "giant_cache_mib = " << (cfg.giant_cache_capacity >> 20) << "\n";
   os << "trace = " << (cfg.enable_trace ? "on" : "off") << "\n";
-  os << "check = " << check::to_string(cfg.check) << "\n";
+  os << "check = "
+     << (cfg.check_hb ? "hb" : check::to_string(cfg.check)) << "\n";
   os << "ft_mode = " << to_string(cfg.ft_mode) << "\n";
   os << "ft_checkpoint_interval = " << cfg.ft_checkpoint_interval << "\n";
   os << "ft_seed = " << cfg.ft_seed << "\n";

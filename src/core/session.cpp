@@ -69,17 +69,40 @@ Session::Session(SessionConfig cfg)
     copts.device_mem = &device_mem_;
     checker_ = std::make_unique<check::ProtocolChecker>(*agent_, copts);
     observers_.add(checker_.get());
-    rewire_observers();
   }
+  if (cfg_.check_hb) {
+    hb_recorder_ = std::make_unique<mc::HbRecorder>();
+    observers_.add(hb_recorder_.get());
+  }
+  rewire_observers();
   setup_telemetry();
 }
 
 Session::~Session() {
+  if (hb_recorder_ != nullptr) {
+    // Best-effort teardown lint: surface any recorded race on stderr so a
+    // `check = hb` run cannot end silently racy. Must not throw here.
+    try {
+      const mc::HbReport report = analyze_hb();
+      if (!report.clean()) {
+        std::cerr << "[teco.hb] " << report.to_string() << "\n";
+      }
+    } catch (...) {
+    }
+  }
   if (cfg_.obs_trace_path.empty()) return;
   // Best-effort flush from a destructor: a failed write must not throw.
   ChromeTraceComposer c;
   c.add_spans(spans_, "teco.session", /*pid=*/1);
   c.write(cfg_.obs_trace_path);
+}
+
+mc::HbReport Session::analyze_hb() const {
+  if (hb_recorder_ == nullptr) {
+    throw std::logic_error(
+        "Session::analyze_hb: enable check_hb (config `check = hb`) first");
+  }
+  return mc::analyze_hb(hb_recorder_->events());
 }
 
 void Session::setup_telemetry() {

@@ -31,6 +31,7 @@
 #include "coherence/giant_cache.hpp"
 #include "coherence/home_agent.hpp"
 #include "cxl/link.hpp"
+#include "mc/hb_analyzer.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
 #include "obs/metrics.hpp"
@@ -65,6 +66,11 @@ struct SessionConfig {
   /// any firing is a bug in the model, not the workload. Benchmarks that
   /// cannot afford the byte comparisons can drop to kCount or kOff.
   check::CheckLevel check = check::CheckLevel::kStrict;
+  /// Record the coherence-event stream for post-run happens-before race
+  /// analysis (config text `check = hb`; implies strict checking). The
+  /// recorded trace is analyzed via Session::analyze_hb() and, at session
+  /// teardown, any detected race is reported on stderr.
+  bool check_hb = false;
 
   // --- Fault tolerance (teco::ft) ---
   FtMode ft_mode = FtMode::kOff;
@@ -199,6 +205,11 @@ class Session {
   const SessionConfig& config() const { return cfg_; }
   /// The attached invariant checker, or nullptr when check == kOff.
   const check::ProtocolChecker* checker() const { return checker_.get(); }
+  /// The happens-before event recorder, or nullptr when check_hb is off.
+  const mc::HbRecorder* hb_recorder() const { return hb_recorder_.get(); }
+  /// Run the vector-clock happens-before pass over the recorded event
+  /// stream (check_hb must be enabled). See docs/MODEL_CHECKING.md.
+  mc::HbReport analyze_hb() const;
 
   /// The session-owned telemetry registry. Every coherent-domain component
   /// records into it; non-const so harnesses (ft trainer, benches) can
@@ -233,6 +244,9 @@ class Session {
   std::unique_ptr<coherence::HomeAgent> agent_;
   /// Declared after agent_ so destruction detaches before the agent dies.
   std::unique_ptr<check::ProtocolChecker> checker_;
+  /// Records the HB-relevant event stream when cfg_.check_hb is set;
+  /// declared before observers_ so the mux never outlives it.
+  std::unique_ptr<mc::HbRecorder> hb_recorder_;
   /// Fan-out for the checker plus any ft observers; wired as the domain's
   /// observer whenever it is non-empty.
   check::ObserverMux observers_;

@@ -6,6 +6,12 @@
 // EventChannel schedules each delivery on a sim::EventQueue so downstream
 // logic runs at the right simulated instants, while the underlying timing
 // stays bit-identical to Channel's.
+//
+// Back-to-back packets can share a delivery instant, and a fence drain
+// lands exactly at the last delivery's timestamp. The queue's documented
+// (time, sequence) FIFO tie-break is what keeps those coincident events in
+// submission order — deliveries before the drain that waits on them —
+// deterministically across replays.
 #pragma once
 
 #include <functional>

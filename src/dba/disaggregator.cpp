@@ -41,6 +41,20 @@ mem::BackingStore::Line Disaggregator::merge(
   return out;
 }
 
+mem::BackingStore::Line expected_merge(DbaRegister reg,
+                                       const mem::BackingStore::Line& old_line,
+                                       const mem::BackingStore::Line& src) {
+  if (!reg.trims()) return src;
+  mem::BackingStore::Line out = old_line;
+  const std::uint8_t n = reg.dirty_bytes();
+  for (std::size_t w = 0; w < mem::kWordsPerLine; ++w) {
+    for (std::uint8_t b = 0; b < n; ++b) {
+      out[w * 4 + b] = src[w * 4 + b];
+    }
+  }
+  return out;
+}
+
 float splice_f32(float old_val, float new_val, std::uint8_t dirty_bytes) {
   if (dirty_bytes > 4) throw std::invalid_argument("dirty_bytes in [0,4]");
   if (dirty_bytes == 4) return new_val;

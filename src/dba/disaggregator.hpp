@@ -48,4 +48,14 @@ class Disaggregator {
 /// what a DBA-transferred parameter looks like on the accelerator.
 float splice_f32(float old_val, float new_val, std::uint8_t dirty_bytes);
 
+/// Closed-form pack+merge: the line the device must hold after a push of
+/// `src` over `old_line` under `reg` (bypass copy when not trimming, else
+/// per-word low-byte splice). This is the independent oracle the model
+/// checker compares the real Aggregator->link->Disaggregator pipeline
+/// against, so keep it a separate expression of Section V, not a call into
+/// the units it is checking.
+mem::BackingStore::Line expected_merge(DbaRegister reg,
+                                       const mem::BackingStore::Line& old_line,
+                                       const mem::BackingStore::Line& src);
+
 }  // namespace teco::dba

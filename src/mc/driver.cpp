@@ -1,0 +1,432 @@
+#include "mc/driver.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "dba/disaggregator.hpp"
+#include "mc/mutation_hook.hpp"
+
+namespace teco::mc {
+
+namespace {
+
+constexpr mem::Addr kParamBase = 0x10000;
+constexpr mem::Addr kGradBase = 0x20000;
+
+/// Tiny CPU cache: 16 sets x 4 ways holds every model-checking line with
+/// room to spare and rebuilds in microseconds (the LLC preset would
+/// allocate 16 MB of sets per explored edge).
+mem::CacheConfig mc_cache_config() {
+  mem::CacheConfig cfg;
+  cfg.size_bytes = 4096;
+  cfg.ways = 4;
+  return cfg;
+}
+
+std::string hex_bytes(const mem::BackingStore::Line& line) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(mem::kLineBytes * 2);
+  for (std::uint8_t b : line) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_progress(Action::Kind k) {
+  switch (k) {
+    case Action::Kind::kCpuWrite:
+    case Action::Kind::kCpuRead:
+    case Action::Kind::kDeviceWrite:
+    case Action::Kind::kDeviceRead:
+    case Action::Kind::kScrub:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string to_string(const Action& a, const DriverConfig& cfg) {
+  const auto line_name = [&]() -> std::string {
+    if (a.line < cfg.param_lines) {
+      return "param" + std::to_string(a.line);
+    }
+    return "grad" + std::to_string(a.line - cfg.param_lines);
+  };
+  switch (a.kind) {
+    case Action::Kind::kCpuWrite:
+      return "cpu_write(" + line_name() + ", v" + std::to_string(a.value) +
+             ")";
+    case Action::Kind::kCpuRead:
+      return "cpu_read(" + line_name() + ")";
+    case Action::Kind::kDeviceWrite:
+      return "device_write(" + line_name() + ", v" + std::to_string(a.value) +
+             ")";
+    case Action::Kind::kDeviceRead:
+      return "device_read(" + line_name() + ")";
+    case Action::Kind::kFence:
+      return "cxl_fence";
+    case Action::Kind::kFlushAll:
+      return "cpu_flush_all";
+    case Action::Kind::kDbaOn:
+      return "dba_on";
+    case Action::Kind::kDbaOff:
+      return "dba_off";
+    case Action::Kind::kDemote:
+      return "demote(" + line_name() + ")";
+    case Action::Kind::kPoison:
+      return "poison(" + line_name() + ")";
+    case Action::Kind::kScrub:
+      return "scrub(" + line_name() + ")";
+    case Action::Kind::kCrash:
+      return "crash";
+    case Action::Kind::kMutate:
+      return "mutate";
+  }
+  __builtin_unreachable();
+}
+
+Driver::Driver(const DriverConfig& cfg, MutationHook* hook)
+    : cfg_(cfg),
+      hook_(hook),
+      link_(),
+      gc_(1ull << 20),
+      cpu_cache_(mc_cache_config()) {
+  if (cfg_.param_lines > 0) {
+    gc_.map_region("params", kParamBase,
+                   static_cast<std::uint64_t>(cfg_.param_lines) *
+                       mem::kLineBytes,
+                   coherence::MesiState::kExclusive, /*dba_eligible=*/true);
+  }
+  if (cfg_.grad_lines > 0) {
+    gc_.map_region("grads", kGradBase,
+                   static_cast<std::uint64_t>(cfg_.grad_lines) *
+                       mem::kLineBytes,
+                   coherence::MesiState::kExclusive, /*dba_eligible=*/false);
+  }
+  coherence::HomeAgent::Options opts;
+  opts.protocol = cfg_.protocol;
+  opts.dba = dba::DbaRegister(false, cfg_.dirty_bytes);
+  opts.cpu_mem = &cpu_mem_;
+  opts.device_mem = &device_mem_;
+  agent_ = std::make_unique<coherence::HomeAgent>(link_, gc_, cpu_cache_,
+                                                  opts);
+  check::ProtocolChecker::Options copts;
+  copts.level = check::CheckLevel::kStrict;
+  copts.cpu_mem = &cpu_mem_;
+  copts.device_mem = &device_mem_;
+  checker_ = std::make_unique<check::ProtocolChecker>(*agent_, copts);
+  oracle_cpu_.resize(num_lines());
+  oracle_dev_.resize(num_lines());
+  needs_scrub_.resize(num_lines(), false);
+  ever_pushed_.resize(num_lines(), false);
+  conv_low_bytes_.resize(num_lines(), 0);
+}
+
+mem::Addr Driver::line_addr(std::uint8_t i) const {
+  if (is_param(i)) return kParamBase + i * mem::kLineBytes;
+  return kGradBase +
+         static_cast<mem::Addr>(i - cfg_.param_lines) * mem::kLineBytes;
+}
+
+coherence::MesiState Driver::gc_state(std::uint8_t i) const {
+  return gc_.state(line_addr(i));
+}
+
+coherence::MesiState Driver::cpu_state(std::uint8_t i) const {
+  const auto* meta = cpu_cache_.peek(line_addr(i));
+  return meta == nullptr ? coherence::MesiState::kInvalid
+                         : static_cast<coherence::MesiState>(meta->state);
+}
+
+std::uint8_t Driver::sharer_mask(std::uint8_t i) const {
+  return agent_->snoop_filter().sharer_mask(line_addr(i));
+}
+
+bool Driver::region_demoted(std::uint8_t i) const {
+  const auto* region = gc_.find(line_addr(i));
+  return region != nullptr && region->forced_invalidation;
+}
+
+mem::BackingStore::Line Driver::cpu_line(std::uint8_t i) const {
+  return cpu_mem_.read_line(line_addr(i));
+}
+
+mem::BackingStore::Line Driver::dev_line(std::uint8_t i) const {
+  return device_mem_.read_line(line_addr(i));
+}
+
+void Driver::fill_line(mem::BackingStore::Line& line,
+                       std::uint32_t bits) const {
+  for (std::size_t w = 0; w < mem::kWordsPerLine; ++w) {
+    std::memcpy(line.data() + w * 4, &bits, 4);
+  }
+}
+
+std::vector<Action> Driver::alphabet() const {
+  std::vector<Action> out;
+  for (std::uint8_t l = 0; l < num_lines(); ++l) {
+    for (std::uint8_t v = 0;
+         v < static_cast<std::uint8_t>(cfg_.value_bits.size()); ++v) {
+      out.push_back({Action::Kind::kCpuWrite, l, v});
+      out.push_back({Action::Kind::kDeviceWrite, l, v});
+    }
+    out.push_back({Action::Kind::kCpuRead, l, 0});
+    out.push_back({Action::Kind::kDeviceRead, l, 0});
+    if (cfg_.ft) {
+      out.push_back({Action::Kind::kPoison, l, 0});
+      out.push_back({Action::Kind::kScrub, l, 0});
+    }
+  }
+  out.push_back({Action::Kind::kFence, 0, 0});
+  out.push_back({Action::Kind::kFlushAll, 0, 0});
+  out.push_back({Action::Kind::kDbaOn, 0, 0});
+  out.push_back({Action::Kind::kDbaOff, 0, 0});
+  if (cfg_.allow_demote) {
+    // One demotion per region, keyed by its first line.
+    if (cfg_.param_lines > 0) out.push_back({Action::Kind::kDemote, 0, 0});
+    if (cfg_.grad_lines > 0) {
+      out.push_back({Action::Kind::kDemote, cfg_.param_lines, 0});
+    }
+  }
+  if (cfg_.ft) out.push_back({Action::Kind::kCrash, 0, 0});
+  if (hook_ != nullptr) out.push_back({Action::Kind::kMutate, 0, 0});
+  return out;
+}
+
+bool Driver::enabled(const Action& a) const {
+  switch (a.kind) {
+    case Action::Kind::kCpuWrite:
+    case Action::Kind::kCpuRead:
+    case Action::Kind::kDeviceWrite:
+    case Action::Kind::kDeviceRead:
+      return !needs_scrub_[a.line];
+    case Action::Kind::kFence:
+    case Action::Kind::kFlushAll:
+      return true;
+    case Action::Kind::kDbaOn:
+      return !agent_->dba().active();
+    case Action::Kind::kDbaOff:
+      return agent_->dba().active();
+    case Action::Kind::kDemote:
+      // Demotion is the update protocol's fallback; under invalidation the
+      // flag would be dead state-vector weight.
+      return cfg_.allow_demote &&
+             agent_->protocol() == coherence::Protocol::kUpdate &&
+             !region_demoted(a.line);
+    case Action::Kind::kPoison:
+      return cfg_.ft && !needs_scrub_[a.line];
+    case Action::Kind::kScrub:
+      return cfg_.ft && cfg_.allow_scrub && needs_scrub_[a.line];
+    case Action::Kind::kCrash: {
+      if (!cfg_.ft) return false;
+      for (std::uint8_t i = 0; i < num_lines(); ++i) {
+        if (!needs_scrub_[i]) return true;
+      }
+      return false;
+    }
+    case Action::Kind::kMutate:
+      return hook_ != nullptr && !mutation_fired_ && hook_->applicable(*this);
+  }
+  __builtin_unreachable();
+}
+
+void Driver::fault_line(std::uint8_t i, std::uint8_t fill) {
+  const mem::Addr addr = line_addr(i);
+  // The giant cache discards the faulted line; a tracked device sharer is
+  // retired with it. Both pokes are observed (and judged) by the checker.
+  gc_.set_state(addr, coherence::MesiState::kInvalid);
+  agent_->snoop_filter().remove_sharer(addr, coherence::Sharer::kDevice);
+  mem::BackingStore::Line junk;
+  junk.fill(fill);
+  device_mem_.write_line(addr, junk);
+  oracle_dev_[i] = junk;
+  needs_scrub_[i] = true;
+  ever_pushed_[i] = false;
+  conv_low_bytes_[i] = 0;
+}
+
+void Driver::apply(const Action& a) {
+  switch (a.kind) {
+    case Action::Kind::kCpuWrite: {
+      const mem::Addr addr = line_addr(a.line);
+      mem::BackingStore::Line src;
+      fill_line(src, cfg_.value_bits[a.value]);
+      cpu_mem_.write_line(addr, src);
+      oracle_cpu_[a.line] = src;
+      const auto d = agent_->cpu_write_line(now_, addr);
+      if (d.has_value()) {
+        // An update push crossed the link. Eligible regions go through the
+        // DBA units; everything else ships the full line.
+        if (is_param(a.line)) {
+          oracle_dev_[a.line] = dba::expected_merge(
+              agent_->dba(), oracle_dev_[a.line], oracle_cpu_[a.line]);
+          ever_pushed_[a.line] = true;
+          conv_low_bytes_[a.line] =
+              agent_->dba().trims() ? agent_->dba().dirty_bytes() : 4;
+        } else {
+          oracle_dev_[a.line] = oracle_cpu_[a.line];
+          conv_low_bytes_[a.line] = 4;
+        }
+      }
+      break;
+    }
+    case Action::Kind::kCpuRead: {
+      const auto acc = agent_->cpu_read_line(now_, line_addr(a.line));
+      if (acc.crossed_link) oracle_cpu_[a.line] = oracle_dev_[a.line];
+      break;
+    }
+    case Action::Kind::kDeviceWrite: {
+      const mem::Addr addr = line_addr(a.line);
+      mem::BackingStore::Line src;
+      fill_line(src, cfg_.value_bits[a.value]);
+      device_mem_.write_line(addr, src);
+      oracle_dev_[a.line] = src;
+      const auto d = agent_->device_write_line(now_, addr);
+      if (d.has_value()) {
+        // Device pushes are never trimmed (gradients have no stable
+        // dirty-byte pattern — Section V).
+        oracle_cpu_[a.line] = oracle_dev_[a.line];
+        conv_low_bytes_[a.line] = 4;
+      }
+      if (is_param(a.line)) ever_pushed_[a.line] = true;
+      break;
+    }
+    case Action::Kind::kDeviceRead: {
+      const auto acc = agent_->device_read_line(now_, line_addr(a.line));
+      if (acc.crossed_link) {
+        oracle_dev_[a.line] = oracle_cpu_[a.line];
+        conv_low_bytes_[a.line] = 4;
+        if (is_param(a.line)) ever_pushed_[a.line] = true;
+      }
+      break;
+    }
+    case Action::Kind::kFence:
+      now_ = agent_->cxl_fence(now_);
+      break;
+    case Action::Kind::kFlushAll:
+      agent_->cpu_flush_all(now_);
+      if (hook_ != nullptr && mutation_fired_) hook_->after_flush(*this);
+      break;
+    case Action::Kind::kDbaOn:
+      agent_->set_dba(now_, dba::DbaRegister(true, cfg_.dirty_bytes));
+      break;
+    case Action::Kind::kDbaOff:
+      agent_->set_dba(now_, dba::DbaRegister(false, cfg_.dirty_bytes));
+      break;
+    case Action::Kind::kDemote:
+      agent_->demote_region(now_, line_addr(a.line));
+      break;
+    case Action::Kind::kPoison:
+      fault_line(a.line, 0xEF);
+      break;
+    case Action::Kind::kCrash:
+      // Device crash: every line's giant-cache copy is lost at once.
+      for (std::uint8_t i = 0; i < num_lines(); ++i) {
+        fault_line(i, 0x00);
+      }
+      break;
+    case Action::Kind::kScrub: {
+      // Mirror Session::scrub_device_line: repair from the CPU master copy
+      // with DBA bypassed (a trimmed payload cannot fix high bytes), then
+      // fence and restore the register.
+      const dba::DbaRegister saved = agent_->dba();
+      if (saved.active()) {
+        agent_->set_dba(now_, dba::DbaRegister(false, saved.dirty_bytes()));
+      }
+      const mem::Addr addr = line_addr(a.line);
+      const auto d = agent_->cpu_write_line(now_, addr);
+      if (d.has_value()) {
+        oracle_dev_[a.line] = oracle_cpu_[a.line];
+        conv_low_bytes_[a.line] = 4;
+        if (is_param(a.line)) ever_pushed_[a.line] = true;
+      }
+      now_ = agent_->cxl_fence(now_);
+      if (saved.active()) agent_->set_dba(now_, saved);
+      // Under invalidation MESI the scrub write does not move data; the
+      // giant-cache line stays I and the repair lands on the device's next
+      // demand fetch. Either way the line is serviceable again.
+      needs_scrub_[a.line] = false;
+      break;
+    }
+    case Action::Kind::kMutate:
+      mutation_fired_ = true;
+      hook_->apply(*this);
+      break;
+  }
+}
+
+std::optional<std::string> Driver::check_value_convergence() const {
+  for (std::uint8_t i = 0; i < num_lines(); ++i) {
+    const mem::Addr addr = line_addr(i);
+    if (cpu_mem_.read_line(addr) != oracle_cpu_[i]) {
+      std::ostringstream os;
+      os << "CPU memory diverged from the oracle on "
+         << to_string(Action{Action::Kind::kCpuRead, i, 0}, cfg_)
+         << ": have " << hex_bytes(cpu_mem_.read_line(addr)) << " want "
+         << hex_bytes(oracle_cpu_[i]);
+      return os.str();
+    }
+    if (device_mem_.read_line(addr) != oracle_dev_[i]) {
+      std::ostringstream os;
+      os << "device memory diverged from the oracle on "
+         << to_string(Action{Action::Kind::kDeviceRead, i, 0}, cfg_)
+         << ": have " << hex_bytes(device_mem_.read_line(addr)) << " want "
+         << hex_bytes(oracle_dev_[i]);
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Driver::check_quiesced_convergence() const {
+  for (std::uint8_t i = 0; i < num_lines(); ++i) {
+    if (!is_param(i) || !ever_pushed_[i] || needs_scrub_[i]) continue;
+    if (region_demoted(i) ||
+        agent_->protocol() != coherence::Protocol::kUpdate) {
+      continue;  // Invalidation MESI converges on demand, not at the fence.
+    }
+    if (gc_state(i) == coherence::MesiState::kInvalid) continue;
+    // The consumer guarantee (Section V): after quiescence the device sees
+    // every dirty low byte the producer wrote. Coverage is scoped by the
+    // register in force at the *last* transfer (conv_low_bytes_): bytes
+    // above an old trim setting are legitimately stale even if the
+    // register has since widened.
+    const auto cpu = oracle_cpu_[i];
+    const auto dev = device_mem_.read_line(line_addr(i));
+    const std::uint8_t n = conv_low_bytes_[i];
+    for (std::size_t w = 0; w < mem::kWordsPerLine; ++w) {
+      for (std::uint8_t b = 0; b < n; ++b) {
+        const std::size_t at = w * 4 + b;
+        if (dev[at] != cpu[at]) {
+          std::ostringstream os;
+          os << "giant cache did not converge after quiescence: param"
+             << static_cast<int>(i) << " byte " << at << " is 0x" << std::hex
+             << static_cast<int>(dev[at]) << " want 0x"
+             << static_cast<int>(cpu[at]);
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void Driver::perturb_device_byte(std::uint8_t i, std::size_t at) {
+  auto line = device_mem_.read_line(line_addr(i));
+  line[at] ^= 0x01;
+  device_mem_.write_line(line_addr(i), line);
+  oracle_dev_[i][at] ^= 0x01;
+}
+
+bool Driver::all_serviceable() const {
+  for (std::uint8_t i = 0; i < num_lines(); ++i) {
+    if (needs_scrub_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace teco::mc

@@ -1,0 +1,200 @@
+// Nondeterministic driver over the real coherent domain (teco::mc).
+//
+// The model checker does not re-specify the protocol: every transition it
+// explores is executed by the same coherence::HomeAgent / GiantCache /
+// SnoopFilter / dba::{Aggregator,Disaggregator} code the training runtime
+// uses, with the strict check::ProtocolChecker attached throughout. A
+// Driver is one rebuildable instance of that domain at model-checking
+// scale: a couple of lines, two write values, a tiny CPU cache (so a
+// rebuild costs microseconds, not the 16 MB LLC), plus an independent byte
+// oracle. The oracle mirrors what each memory must hold after every action
+// using dba::expected_merge — a closed-form restatement of Section V — so
+// the checker's local invariants are complemented by end-to-end value
+// convergence at every explored state.
+//
+// Drivers are deliberately cheap to construct and are *not* copyable: the
+// domain is a web of references and observers, so the checker replays the
+// action prefix through a fresh Driver for every edge it explores. Replay
+// through the real code is the ground truth by definition; it also means
+// any hidden dependence on wall time or iteration order would show up as
+// nondeterministic state counts (tests pin them as goldens).
+//
+// FT mode adds poison / crash / scrub actions modeling the teco::ft failure
+// surface: a fault discards the device copy (giant-cache line to I, junk
+// bytes) and marks the line needing a scrub before data actions may touch
+// it again — mirroring ft::RecoveryManager's poison-scrub path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hpp"
+#include "coherence/giant_cache.hpp"
+#include "coherence/home_agent.hpp"
+#include "cxl/link.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "sim/time.hpp"
+
+namespace teco::mc {
+
+class MutationHook;
+
+struct DriverConfig {
+  coherence::Protocol protocol = coherence::Protocol::kUpdate;
+  /// Lines in the DBA-eligible parameter region / the gradient region.
+  std::uint8_t param_lines = 2;
+  std::uint8_t grad_lines = 0;
+  std::uint8_t dirty_bytes = 2;
+  /// The two distinguishable write values. Bit patterns are chosen so a
+  /// 2-byte DBA splice of one over the other yields a third pattern (value
+  /// collapse would hide merge bugs from the byte oracle), and no byte is
+  /// 0x00 or 0xEF or shared between the two at the same word offset — the
+  /// value-role swap of the symmetry reduction must fix zero/poison bytes
+  /// and stay a well-defined involution (see state_vector.cpp).
+  std::array<std::uint32_t, 2> value_bits{0x3F801234u, 0x40215678u};
+  /// FT mode: enable poison / crash / scrub actions.
+  bool ft = false;
+  /// Disable to model an unrecoverable deployment (deadlock/stuck tests).
+  bool allow_scrub = true;
+  /// Explicit region demotion to invalidation MESI as an action.
+  bool allow_demote = true;
+};
+
+struct Action {
+  enum class Kind : std::uint8_t {
+    kCpuWrite,
+    kCpuRead,
+    kDeviceWrite,
+    kDeviceRead,
+    kFence,
+    kFlushAll,
+    kDbaOn,
+    kDbaOff,
+    kDemote,
+    kPoison,
+    kScrub,
+    kCrash,
+    kMutate,
+  };
+  Kind kind = Kind::kFence;
+  std::uint8_t line = 0;   ///< Line index (reads/writes/poison/scrub/demote).
+  std::uint8_t value = 0;  ///< Index into DriverConfig::value_bits (writes).
+};
+
+/// Data-progress actions, for the deadlock invariant: a state where none of
+/// these is enabled can never service another access. Fences, flushes and
+/// control toggles are stutter steps and do not count as progress.
+bool is_progress(Action::Kind k);
+
+std::string to_string(const Action& a, const DriverConfig& cfg);
+
+class Driver {
+ public:
+  explicit Driver(const DriverConfig& cfg, MutationHook* hook = nullptr);
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Every action the model checker may try from any state (the enabled()
+  /// predicate gates per-state applicability). Order is fixed — BFS
+  /// determinism and therefore the golden state counts depend on it.
+  std::vector<Action> alphabet() const;
+
+  bool enabled(const Action& a) const;
+
+  /// Execute one action against the real domain, updating the byte oracle.
+  /// Throws check::ProtocolViolation if the strict checker objects.
+  void apply(const Action& a);
+
+  // --- State-vector extraction / mutation-hook access ----------------------
+  std::uint8_t num_lines() const {
+    return static_cast<std::uint8_t>(cfg_.param_lines + cfg_.grad_lines);
+  }
+  bool is_param(std::uint8_t i) const { return i < cfg_.param_lines; }
+  mem::Addr line_addr(std::uint8_t i) const;
+  coherence::MesiState gc_state(std::uint8_t i) const;
+  coherence::MesiState cpu_state(std::uint8_t i) const;
+  std::uint8_t sharer_mask(std::uint8_t i) const;
+  bool region_demoted(std::uint8_t i) const;
+  bool needs_scrub(std::uint8_t i) const { return needs_scrub_[i]; }
+  bool ever_pushed(std::uint8_t i) const { return ever_pushed_[i]; }
+  std::uint8_t conv_low_bytes(std::uint8_t i) const {
+    return conv_low_bytes_[i];
+  }
+  bool mutation_fired() const { return mutation_fired_; }
+  mem::BackingStore::Line cpu_line(std::uint8_t i) const;
+  mem::BackingStore::Line dev_line(std::uint8_t i) const;
+
+  coherence::HomeAgent& agent() { return *agent_; }
+  const coherence::HomeAgent& agent() const { return *agent_; }
+  /// Mutable directory for mutation hooks; pokes through it are observed
+  /// (and judged) by the attached strict checker.
+  coherence::GiantCache& giant_cache() { return gc_; }
+  check::ProtocolChecker& checker() { return *checker_; }
+  mem::BackingStore& cpu_mem() { return cpu_mem_; }
+  mem::BackingStore& device_mem() { return device_mem_; }
+  sim::Time now() const { return now_; }
+  const DriverConfig& config() const { return cfg_; }
+
+  // --- Global invariants the checker cannot express ------------------------
+
+  /// Byte-exact convergence: both memories must equal the closed-form
+  /// oracle at *every* state (the oracle tracks faults too, so this holds
+  /// unconditionally). Returns a description of the first divergence.
+  std::optional<std::string> check_value_convergence() const;
+
+  /// The giant-cache consumer guarantee at a quiescent point: on update-
+  /// protocol parameter lines that have seen a push and are serviceable,
+  /// the device copy's dirty low bytes equal the CPU master copy's.
+  std::optional<std::string> check_quiesced_convergence() const;
+
+  /// No line awaits a scrub (the "good" predicate of the reachability
+  /// liveness check: from every state, some good state must be reachable).
+  bool all_serviceable() const;
+
+  /// Flip one device byte in both the memory and the oracle. Only for
+  /// DivergentFlushMutation: the perturbation is value-consistent (no
+  /// convergence violation) yet changes the canonical state, so repeated
+  /// flushes never reach a quiescent fixpoint — a modeled livelock.
+  void perturb_device_byte(std::uint8_t i, std::size_t at);
+
+ private:
+  void fill_line(mem::BackingStore::Line& line, std::uint32_t bits) const;
+  /// Fault body shared by poison and crash: the giant cache discards the
+  /// line (state I, device sharer retired) and the device bytes become
+  /// `fill` — 0xEF junk for poison, zeros for the post-crash wipe.
+  void fault_line(std::uint8_t i, std::uint8_t fill);
+
+  DriverConfig cfg_;
+  MutationHook* hook_;
+  cxl::Link link_;
+  coherence::GiantCache gc_;
+  mem::Cache cpu_cache_;
+  mem::BackingStore cpu_mem_;
+  mem::BackingStore device_mem_;
+  std::unique_ptr<coherence::HomeAgent> agent_;
+  std::unique_ptr<check::ProtocolChecker> checker_;
+  /// Closed-form mirror of what each memory must hold.
+  std::vector<mem::BackingStore::Line> oracle_cpu_;
+  std::vector<mem::BackingStore::Line> oracle_dev_;
+  std::vector<bool> needs_scrub_;
+  /// A protocol transfer has populated the device copy (mirrors the
+  /// checker's has_expected_dev path dependence; part of the state vector).
+  std::vector<bool> ever_pushed_;
+  /// Low bytes per word guaranteed converged by the *most recent* transfer:
+  /// 4 after a full-line movement, the register's dirty_bytes after a
+  /// trimmed push, 0 before any transfer or after a fault. The quiesced
+  /// consumer guarantee is judged against this, not the current register —
+  /// content pushed under an old trim setting is legitimately stale above
+  /// it. Part of the state vector (it scopes the invariant).
+  std::vector<std::uint8_t> conv_low_bytes_;
+  bool mutation_fired_ = false;
+  sim::Time now_ = 0.0;
+};
+
+}  // namespace teco::mc

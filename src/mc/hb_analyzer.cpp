@@ -1,0 +1,222 @@
+#include "mc/hb_analyzer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <unordered_map>
+
+#include "cxl/packet.hpp"
+
+namespace teco::mc {
+
+namespace {
+
+constexpr std::size_t kAgents = 2;
+using Clock = std::array<std::uint64_t, kAgents>;
+
+std::size_t idx(HbAgent a) { return static_cast<std::size_t>(a); }
+HbAgent other(HbAgent a) {
+  return a == HbAgent::kCpu ? HbAgent::kDevice : HbAgent::kCpu;
+}
+
+void join(Clock& dst, const Clock& src) {
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+/// Message types that order cross-agent accesses. kDbaConfig's addr field
+/// is a register encoding and ReadOwn/GO/GO_Flush never cross the link as
+/// ordering traffic between the two caches.
+bool orders(std::uint8_t msg_type) {
+  switch (static_cast<cxl::MessageType>(msg_type)) {
+    case cxl::MessageType::kFlushData:
+    case cxl::MessageType::kInvalidate:
+    case cxl::MessageType::kInvAck:
+    case cxl::MessageType::kDemandRead:
+    case cxl::MessageType::kData:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(HbAgent a) {
+  return a == HbAgent::kCpu ? "cpu" : "device";
+}
+
+void HbRecorder::on_op_begin(sim::Time now, check::Op op, mem::Addr line) {
+  HbEvent e;
+  e.kind = HbEvent::Kind::kAccess;
+  e.t = now;
+  e.line = line;
+  switch (op) {
+    case check::Op::kCpuWrite:
+      e.agent = HbAgent::kCpu;
+      e.is_write = true;
+      break;
+    case check::Op::kCpuRead:
+      e.agent = HbAgent::kCpu;
+      break;
+    case check::Op::kDeviceWrite:
+      e.agent = HbAgent::kDevice;
+      e.is_write = true;
+      break;
+    case check::Op::kDeviceRead:
+      e.agent = HbAgent::kDevice;
+      break;
+    case check::Op::kNone:
+    case check::Op::kFlushAll:
+      // Not a per-line access (flush-all ordering comes from the fence that
+      // precedes it in the step protocol).
+      return;
+  }
+  events_.push_back(e);
+}
+
+void HbRecorder::on_packet(sim::Time now, std::uint8_t dir,
+                           std::uint8_t msg_type, mem::Addr addr,
+                           std::uint64_t /*count*/, sim::Time delivered) {
+  if (!orders(msg_type)) return;
+  HbEvent e;
+  e.kind = HbEvent::Kind::kMessage;
+  e.t = now;
+  e.delivered = delivered;
+  // dir 0 is CPU->device (m2s), so the sender is the CPU.
+  e.agent = dir == 0 ? HbAgent::kCpu : HbAgent::kDevice;
+  e.line = addr;
+  e.msg_type = msg_type;
+  events_.push_back(e);
+}
+
+void HbRecorder::on_fence(std::uint8_t /*dir*/, sim::Time /*now*/,
+                          sim::Time drain) {
+  HbEvent e;
+  e.kind = HbEvent::Kind::kFence;
+  e.t = drain;
+  events_.push_back(e);
+}
+
+std::string HbRace::describe() const {
+  std::ostringstream os;
+  os << "line 0x" << std::hex << line << std::dec << ": "
+     << to_string(current.agent) << (current.is_write ? " write" : " read")
+     << " @t=" << current.t << " (event #" << current.event_index
+     << ") unordered with " << to_string(prior.agent)
+     << (prior.is_write ? " write" : " read") << " @t=" << prior.t
+     << " (event #" << prior.event_index << ")";
+  return os.str();
+}
+
+std::string HbReport::to_string() const {
+  std::ostringstream os;
+  os << "hb: " << accesses << " accesses, " << messages << " messages, "
+     << fences << " fences, " << joins << " joins -> " << races_total
+     << " race(s)\n";
+  for (const HbRace& r : races) {
+    os << "  RACE " << r.describe() << "\n";
+  }
+  if (races_total > races.size()) {
+    os << "  ... " << races_total - races.size() << " more\n";
+  }
+  return os.str();
+}
+
+HbReport analyze_hb(std::span<const HbEvent> events) {
+  HbReport report;
+
+  std::array<Clock, kAgents> vc{};  // vc[agent] = that agent's vector clock.
+
+  struct PendingMsg {
+    Clock snap{};  ///< Sender clock at injection.
+    sim::Time delivered = 0.0;
+    HbAgent dst = HbAgent::kCpu;
+  };
+  std::unordered_map<std::uint64_t, std::vector<PendingMsg>> pending;
+
+  struct LastAccess {
+    std::uint64_t clock = 0;  ///< Accessor's own component at the access.
+    bool valid = false;
+    HbAccessRef ref;
+  };
+  struct LineState {
+    std::array<LastAccess, kAgents> last_write;
+    std::array<LastAccess, kAgents> last_read;
+  };
+  std::unordered_map<std::uint64_t, LineState> lines;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const HbEvent& e = events[i];
+    const std::uint64_t key = mem::line_index(e.line);
+    switch (e.kind) {
+      case HbEvent::Kind::kMessage: {
+        ++report.messages;
+        pending[key].push_back(
+            PendingMsg{vc[idx(e.agent)], e.delivered, other(e.agent)});
+        break;
+      }
+      case HbEvent::Kind::kFence: {
+        ++report.fences;
+        // Whole-link barrier: both clocks agree afterwards, and every
+        // in-flight snapshot is dominated by the joined clock.
+        Clock joined = vc[0];
+        join(joined, vc[1]);
+        vc[0] = vc[1] = joined;
+        ++vc[0][0];
+        ++vc[1][1];
+        pending.clear();
+        break;
+      }
+      case HbEvent::Kind::kAccess: {
+        ++report.accesses;
+        const std::size_t a = idx(e.agent);
+        // Deliver message edges this access can have observed.
+        if (auto it = pending.find(key); it != pending.end()) {
+          auto& q = it->second;
+          for (std::size_t m = 0; m < q.size();) {
+            if (q[m].dst == e.agent && q[m].delivered <= e.t) {
+              join(vc[a], q[m].snap);
+              ++report.joins;
+              q[m] = q.back();
+              q.pop_back();
+            } else {
+              ++m;
+            }
+          }
+        }
+        LineState& ls = lines[key];
+        const std::size_t b = idx(other(e.agent));
+        auto flag = [&](const LastAccess& prior) {
+          ++report.races_total;
+          if (report.races.size() < HbReport::kMaxRaces) {
+            HbRace race;
+            race.line = mem::line_base(e.line);
+            race.prior = prior.ref;
+            race.current = HbAccessRef{e.t, e.agent, e.is_write, i};
+            report.races.push_back(race);
+          }
+        };
+        // Write-write / read-write in either direction: the other agent's
+        // conflicting access must be below our clock's view of it.
+        if (ls.last_write[b].valid && ls.last_write[b].clock > vc[a][b]) {
+          flag(ls.last_write[b]);
+        }
+        if (e.is_write && ls.last_read[b].valid &&
+            ls.last_read[b].clock > vc[a][b]) {
+          flag(ls.last_read[b]);
+        }
+        ++vc[a][a];
+        LastAccess& slot = e.is_write ? ls.last_write[a] : ls.last_read[a];
+        slot.clock = vc[a][a];
+        slot.valid = true;
+        slot.ref = HbAccessRef{e.t, e.agent, e.is_write, i};
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace teco::mc

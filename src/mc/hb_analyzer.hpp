@@ -1,0 +1,117 @@
+// Vector-clock happens-before analysis over coherence-event traces.
+//
+// The model checker (model_checker.hpp) proves protocol *state* safety by
+// exhaustive enumeration; this pass proves a recorded *timing* schedule
+// race-free. TECO's link is closed-form — a push issued at `now` lands at
+// `delivered` — so an access can observe a line before the message that
+// orders it has landed. The analyzer replays a trace of accesses, link
+// messages and fences with one vector clock per agent (CPU, device) and
+// flags every pair of same-line accesses by different agents that no
+// coherence message or fence orders.
+//
+// Ordering edges:
+//  * Program order per agent.
+//  * Coherence messages (FlushData, Invalidate, InvAck, DemandRead, Data):
+//    the sender's clock is snapshotted at injection and joined into the
+//    receiver when the receiver next touches that line at or after the
+//    delivery time. kDbaConfig carries a register encoding, not a line
+//    address, and ReadOwn/GO/GO_Flush are on-package — none create
+//    cross-agent edges.
+//  * CXLFENCE: TECO only ever issues whole-link fences (fence_all at step
+//    boundaries, Fig. 5), so a fence is a two-agent barrier — both clocks
+//    join and everything previously in flight is subsumed. Without this
+//    the device's forward reads of step N+1 would falsely race with the
+//    CPU's optimizer writes of step N.
+//
+// HbRecorder is the check::Observer that captures the trace; attach it via
+// core::Session (`check = hb`) or directly to a HomeAgent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/observer.hpp"
+#include "mem/address.hpp"
+#include "sim/time.hpp"
+
+namespace teco::mc {
+
+/// The two agents of the coherent domain, used as vector-clock indices.
+enum class HbAgent : std::uint8_t {
+  kCpu = 0,
+  kDevice = 1,
+};
+
+std::string_view to_string(HbAgent a);
+
+struct HbEvent {
+  enum class Kind : std::uint8_t {
+    kAccess,   ///< A home-agent read/write op by `agent` on `line`.
+    kMessage,  ///< A coherence packet from `agent` (the sender) on `line`.
+    kFence,    ///< A CXLFENCE drain (global barrier, see header comment).
+  };
+  Kind kind = Kind::kFence;
+  sim::Time t = 0.0;          ///< Issue time.
+  sim::Time delivered = 0.0;  ///< Messages: link delivery time.
+  HbAgent agent = HbAgent::kCpu;
+  bool is_write = false;      ///< Accesses only.
+  mem::Addr line = 0;
+  std::uint8_t msg_type = 0;  ///< Raw cxl::MessageType byte (messages).
+};
+
+/// Observer that records the HB-relevant event stream of a coherent domain.
+/// Cheap enough to leave attached for a whole training run; analysis is a
+/// separate post-run pass (analyze_hb).
+class HbRecorder final : public check::Observer {
+ public:
+  const std::vector<HbEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  void on_op_begin(sim::Time now, check::Op op, mem::Addr line) override;
+  void on_packet(sim::Time now, std::uint8_t dir, std::uint8_t msg_type,
+                 mem::Addr addr, std::uint64_t count,
+                 sim::Time delivered) override;
+  void on_fence(std::uint8_t dir, sim::Time now, sim::Time drain) override;
+
+ private:
+  std::vector<HbEvent> events_;
+};
+
+/// One side of an unordered pair: which access, by whom, when.
+struct HbAccessRef {
+  sim::Time t = 0.0;
+  HbAgent agent = HbAgent::kCpu;
+  bool is_write = false;
+  std::size_t event_index = 0;  ///< Index into the analyzed event stream.
+};
+
+struct HbRace {
+  mem::Addr line = 0;
+  HbAccessRef prior;    ///< The earlier-recorded access of the pair.
+  HbAccessRef current;  ///< The access at which the race was detected.
+
+  std::string describe() const;
+};
+
+struct HbReport {
+  /// Detected races, in detection order (bounded at kMaxRaces; races_total
+  /// keeps the full count).
+  std::vector<HbRace> races;
+  std::uint64_t races_total = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t joins = 0;  ///< Message-delivery clock joins applied.
+
+  bool clean() const { return races_total == 0; }
+  std::string to_string() const;
+
+  static constexpr std::size_t kMaxRaces = 64;
+};
+
+/// Run the vector-clock pass over `events` (in recorded order).
+HbReport analyze_hb(std::span<const HbEvent> events);
+
+}  // namespace teco::mc

@@ -1,0 +1,267 @@
+#include "mc/model_checker.hpp"
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "mc/mutation_hook.hpp"
+#include "mc/state_vector.hpp"
+
+namespace teco::mc {
+
+namespace {
+
+struct StateRec {
+  std::vector<Action> path;  ///< Minimal trace from the initial state.
+  std::vector<std::uint32_t> preds;  ///< Sources of in-edges (reachability).
+  bool good = false;                 ///< all_serviceable() held here.
+};
+
+class Search {
+ public:
+  explicit Search(const McConfig& cfg) : cfg_(cfg) {}
+
+  McResult run() {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    auto d0 = rebuild();
+    alphabet_ = d0->alphabet();
+    add_state(canonical_state(*d0, cfg_.symmetry), {},
+              /*pred=*/std::nullopt);
+    check_state(std::move(d0), recs_[0].path);
+
+    while (!frontier_.empty() && !result_.truncated) {
+      const std::uint32_t cur = frontier_.front();
+      frontier_.pop_front();
+      // One replay serves the enabled scan, the deadlock check and the
+      // first explored edge; remaining edges replay their own driver.
+      auto d = replay(recs_[cur].path);
+      std::vector<Action> enabled;
+      bool progress = false;
+      for (const Action& a : alphabet_) {
+        if (!d->enabled(a)) continue;
+        enabled.push_back(a);
+        progress = progress || is_progress(a.kind);
+      }
+      if (cfg_.check_liveness && !progress) {
+        record(result_.deadlocks, result_.deadlocks_total,
+               {recs_[cur].path,
+                "deadlock: no data-progress action is enabled", std::nullopt});
+      }
+      for (std::size_t i = 0; i < enabled.size(); ++i) {
+        auto ed = d != nullptr ? std::move(d) : replay(recs_[cur].path);
+        explore_edge(cur, enabled[i], std::move(ed));
+        if (result_.truncated) break;
+      }
+    }
+
+    if (cfg_.check_liveness && !result_.truncated) check_stuck();
+
+    result_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::move(result_);
+  }
+
+ private:
+  std::unique_ptr<Driver> rebuild() const {
+    return std::make_unique<Driver>(cfg_.driver, cfg_.mutation);
+  }
+
+  /// Replaying a stored path never violates: every stored state was
+  /// reached violation-free once, and the domain is deterministic.
+  std::unique_ptr<Driver> replay(const std::vector<Action>& path) const {
+    auto d = rebuild();
+    for (const Action& a : path) d->apply(a);
+    return d;
+  }
+
+  void record(std::vector<Counterexample>& out, std::size_t& total,
+              Counterexample c) {
+    ++total;
+    if (out.size() < cfg_.max_counterexamples) out.push_back(std::move(c));
+  }
+
+  std::uint32_t add_state(std::string key, std::vector<Action> path,
+                          std::optional<std::uint32_t> pred) {
+    const auto id = static_cast<std::uint32_t>(recs_.size());
+    ids_.emplace(std::move(key), id);
+    recs_.push_back(StateRec{std::move(path), {}, false});
+    if (pred.has_value()) recs_[id].preds.push_back(*pred);
+    frontier_.push_back(id);
+    ++result_.states;
+    if (recs_[id].path.size() > result_.max_depth) {
+      result_.max_depth = recs_[id].path.size();
+    }
+    if (result_.states >= cfg_.max_states) result_.truncated = true;
+    return id;
+  }
+
+  void explore_edge(std::uint32_t from, const Action& a,
+                    std::unique_ptr<Driver> d) {
+    ++result_.edges;
+    std::vector<Action> path = recs_[from].path;
+    path.push_back(a);
+    try {
+      d->apply(a);
+      // Sharer pokes and other recorded-only changes are judged by the
+      // whole-domain sweep; everything else throws inside apply already.
+      d->checker().verify_quiescent();
+    } catch (const check::ProtocolViolation& v) {
+      record(result_.violations, result_.violations_total,
+             {std::move(path), v.what(), v.kind()});
+      return;
+    }
+    std::string key = canonical_state(*d, cfg_.symmetry);
+    const auto it = ids_.find(key);
+    if (it != ids_.end()) {
+      ++result_.deduped;
+      recs_[it->second].preds.push_back(from);
+      return;
+    }
+    const std::uint32_t id = add_state(std::move(key), path, from);
+    recs_[id].good = d->all_serviceable();
+    check_state(std::move(d), path);
+  }
+
+  /// Global per-state properties. Consumes the driver: the quiescence
+  /// probe advances it past the state it represents.
+  void check_state(std::unique_ptr<Driver> d,
+                   const std::vector<Action>& path) {
+    if (const auto div = d->check_value_convergence(); div.has_value()) {
+      record(result_.divergences, result_.divergences_total,
+             {path, *div, std::nullopt});
+      return;
+    }
+    if (!cfg_.check_liveness) return;
+    // Livelock / fence-termination probe: fence + cpu_flush_all must reach
+    // a canonical fixpoint; a healthy domain needs at most two rounds (the
+    // flush drops the CPU's shared lines once, then nothing moves).
+    const Action fence{Action::Kind::kFence, 0, 0};
+    const Action flush{Action::Kind::kFlushAll, 0, 0};
+    std::string before = canonical_state(*d, cfg_.symmetry);
+    bool quiesced = false;
+    try {
+      for (int i = 0; i < cfg_.quiesce_iters; ++i) {
+        d->apply(fence);
+        d->apply(flush);
+        d->checker().verify_quiescent();
+        std::string after = canonical_state(*d, cfg_.symmetry);
+        if (after == before) {
+          quiesced = true;
+          break;
+        }
+        before = std::move(after);
+      }
+      if (!quiesced) {
+        record(result_.livelocks, result_.livelocks_total,
+               {path,
+                "livelock: fence+flush reached no fixpoint in " +
+                    std::to_string(cfg_.quiesce_iters) + " rounds",
+                std::nullopt});
+        return;
+      }
+      // Fence termination/idempotence at the fixpoint: another CXLFENCE
+      // must neither advance time (all traffic drained) nor move state.
+      const sim::Time t = d->now();
+      d->apply(fence);
+      if (d->now() != t || canonical_state(*d, cfg_.symmetry) != before) {
+        record(result_.livelocks, result_.livelocks_total,
+               {path, "fence is not idempotent at the quiescent fixpoint",
+                std::nullopt});
+        return;
+      }
+    } catch (const check::ProtocolViolation& v) {
+      record(result_.violations, result_.violations_total,
+             {path, std::string("during quiescence: ") + v.what(), v.kind()});
+      return;
+    }
+    if (const auto div = d->check_quiesced_convergence(); div.has_value()) {
+      record(result_.divergences, result_.divergences_total,
+             {path, *div, std::nullopt});
+    }
+  }
+
+  /// AG EF good: a state is live iff a good (fully serviceable) state is
+  /// forward-reachable. Computed by backward propagation from the good
+  /// states over the recorded in-edges.
+  void check_stuck() {
+    std::vector<char> live(recs_.size(), 0);
+    std::deque<std::uint32_t> work;
+    for (std::uint32_t id = 0; id < recs_.size(); ++id) {
+      if (recs_[id].good) {
+        live[id] = 1;
+        work.push_back(id);
+      }
+    }
+    while (!work.empty()) {
+      const std::uint32_t v = work.front();
+      work.pop_front();
+      for (const std::uint32_t u : recs_[v].preds) {
+        if (live[u] == 0) {
+          live[u] = 1;
+          work.push_back(u);
+        }
+      }
+    }
+    for (std::uint32_t id = 0; id < recs_.size(); ++id) {
+      if (live[id] != 0) continue;
+      record(result_.stuck, result_.stuck_total,
+             {recs_[id].path,
+              "stuck: no fully-serviceable state is reachable from here",
+              std::nullopt});
+    }
+  }
+
+  const McConfig& cfg_;
+  std::vector<Action> alphabet_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<StateRec> recs_;
+  std::deque<std::uint32_t> frontier_;
+  McResult result_;
+};
+
+}  // namespace
+
+std::string format_counterexample(const Counterexample& c,
+                                  const McConfig& cfg) {
+  std::ostringstream os;
+  os << "counterexample (" << c.path.size() << " actions):\n";
+  for (std::size_t i = 0; i < c.path.size(); ++i) {
+    os << "  " << (i + 1) << ". " << to_string(c.path[i], cfg.driver) << "\n";
+  }
+  os << "  => " << c.what;
+  if (c.kind.has_value()) {
+    os << " [" << check::to_string(*c.kind) << "]";
+  }
+  return os.str();
+}
+
+bool McResult::found(check::ViolationKind k) const {
+  for (const Counterexample& c : violations) {
+    if (c.kind.has_value() && *c.kind == k) return true;
+  }
+  return false;
+}
+
+std::string McResult::summary() const {
+  std::ostringstream os;
+  os << "states=" << states << " edges=" << edges << " deduped=" << deduped
+     << " max_depth=" << max_depth << " wall=" << wall_seconds << "s";
+  if (truncated) os << " TRUNCATED";
+  if (ok()) {
+    os << " ok";
+  } else {
+    os << " violations=" << violations_total
+       << " divergences=" << divergences_total
+       << " deadlocks=" << deadlocks_total << " livelocks=" << livelocks_total
+       << " stuck=" << stuck_total;
+  }
+  return os.str();
+}
+
+McResult ModelChecker::run() { return Search(cfg_).run(); }
+
+}  // namespace teco::mc

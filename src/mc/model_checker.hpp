@@ -1,0 +1,112 @@
+// Explicit-state model checker for the TECO coherent domain (teco::mc).
+//
+// Murphi-style breadth-first enumeration: starting from a freshly built
+// Driver, explore every interleaving of the driver's action alphabet,
+// deduplicating states by their canonical vector (state_vector.hpp). The
+// checked system is the *real* HomeAgent / GiantCache / SnoopFilter / DBA
+// code with the strict runtime checker attached — the model checker adds
+// the global properties a per-transition checker cannot see:
+//
+//  * safety     — the strict checker's invariants hold on every edge, plus
+//                 a whole-domain verify_quiescent() sweep after each action;
+//  * convergence— both memories match the closed-form byte oracle at every
+//                 state, and quiesced parameter lines satisfy the Section V
+//                 dirty-byte consumer guarantee;
+//  * deadlock   — every reachable state has at least one enabled
+//                 data-progress action;
+//  * livelock   — from every reachable state, fence + cpu_flush_all reaches
+//                 a canonical fixpoint within a bounded number of rounds,
+//                 and one more fence at the fixpoint is a no-op (every
+//                 CXLFENCE terminates);
+//  * stuck      — from every reachable state some fully-serviceable state
+//                 is reachable (AG EF good, via reverse reachability over
+//                 the explored edge set).
+//
+// Because Drivers are not copyable, edges are explored by replaying the
+// BFS path through a fresh Driver; BFS order plus the fixed alphabet order
+// make state/edge counts deterministic (tests pin them as goldens), and
+// counterexamples are minimal-length action traces by construction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/protocol_checker.hpp"
+#include "mc/driver.hpp"
+
+namespace teco::mc {
+
+class MutationHook;
+
+struct McConfig {
+  DriverConfig driver;
+  /// Optional seeded defect, explored as a nondeterministic action.
+  MutationHook* mutation = nullptr;
+  /// Quotient the space by line and value symmetry (state_vector.hpp).
+  bool symmetry = true;
+  /// Deadlock / livelock / stuck checks (safety and convergence always run).
+  bool check_liveness = true;
+  /// Fence+flush rounds allowed before a missing fixpoint is a livelock.
+  /// A healthy domain quiesces in at most two.
+  int quiesce_iters = 4;
+  /// Truncation bound; an exhaustive result requires staying under it.
+  std::size_t max_states = 200000;
+  /// At most this many counterexamples kept per category (totals still
+  /// count every occurrence).
+  std::size_t max_counterexamples = 8;
+};
+
+/// A minimal action trace from the initial state to a property failure.
+struct Counterexample {
+  std::vector<Action> path;
+  std::string what;
+  /// Set when the failure came from the runtime checker.
+  std::optional<check::ViolationKind> kind;
+};
+
+std::string format_counterexample(const Counterexample& c,
+                                  const McConfig& cfg);
+
+struct McResult {
+  std::size_t states = 0;
+  std::size_t edges = 0;
+  std::size_t deduped = 0;   ///< Edges that hit an already-visited state.
+  std::size_t max_depth = 0;
+  double wall_seconds = 0.0;
+  bool truncated = false;    ///< Hit max_states; counts are a lower bound.
+
+  std::vector<Counterexample> violations;   ///< Runtime-checker failures.
+  std::vector<Counterexample> divergences;  ///< Oracle / convergence.
+  std::vector<Counterexample> deadlocks;
+  std::vector<Counterexample> livelocks;
+  std::vector<Counterexample> stuck;
+  std::size_t violations_total = 0;
+  std::size_t divergences_total = 0;
+  std::size_t deadlocks_total = 0;
+  std::size_t livelocks_total = 0;
+  std::size_t stuck_total = 0;
+
+  /// No property failed. An exhaustiveness claim additionally needs
+  /// !truncated.
+  bool ok() const {
+    return violations_total == 0 && divergences_total == 0 &&
+           deadlocks_total == 0 && livelocks_total == 0 && stuck_total == 0;
+  }
+  bool found(check::ViolationKind k) const;
+  std::string summary() const;
+};
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(McConfig cfg) : cfg_(std::move(cfg)) {}
+
+  McResult run();
+
+ private:
+  McConfig cfg_;
+};
+
+}  // namespace teco::mc

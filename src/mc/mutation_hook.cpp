@@ -1,0 +1,110 @@
+#include "mc/mutation_hook.hpp"
+
+#include "coherence/snoop_filter.hpp"
+#include "mem/backing_store.hpp"
+
+namespace teco::mc {
+
+namespace {
+
+constexpr coherence::MesiState kAllStates[] = {
+    coherence::MesiState::kInvalid,
+    coherence::MesiState::kShared,
+    coherence::MesiState::kExclusive,
+    coherence::MesiState::kModified,
+};
+
+}  // namespace
+
+std::optional<std::pair<std::uint8_t, coherence::MesiState>>
+IllegalTransitionMutation::find_target(const Driver& d) {
+  for (std::uint8_t i = 0; i < d.num_lines(); ++i) {
+    const auto from = d.gc_state(i);
+    const auto proto = d.agent().effective_protocol(d.line_addr(i));
+    for (const auto to : kAllStates) {
+      if (to == from) continue;
+      if (!coherence::legal_transition(proto, from, to)) {
+        return std::make_pair(i, to);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IllegalTransitionMutation::applicable(const Driver& d) const {
+  return find_target(d).has_value();
+}
+
+void IllegalTransitionMutation::apply(Driver& d) {
+  const auto target = find_target(d);
+  // The poke is observed by the giant cache's attached checker, which
+  // throws check::ProtocolViolation(kIllegalTransition) right here.
+  d.giant_cache().set_state(d.line_addr(target->first), target->second);
+}
+
+std::optional<std::uint8_t> DroppedFlushDataMutation::find_target(
+    const Driver& d) {
+  for (std::uint8_t i = 0; i < d.num_lines(); ++i) {
+    if (d.is_param(i) && d.ever_pushed(i) && !d.needs_scrub(i)) return i;
+  }
+  return std::nullopt;
+}
+
+bool DroppedFlushDataMutation::applicable(const Driver& d) const {
+  return find_target(d).has_value();
+}
+
+void DroppedFlushDataMutation::apply(Driver& d) {
+  const auto target = find_target(d);
+  // Revert the device copy as if the FlushData payload never landed. The
+  // write bypasses the protocol and the oracle on purpose: the checker
+  // must notice via value invariants, not because we told it.
+  mem::BackingStore::Line zeros{};
+  d.device_mem().write_line(d.line_addr(*target), zeros);
+}
+
+std::optional<std::uint8_t> StaleSnoopSharerMutation::find_target(
+    const Driver& d) {
+  for (std::uint8_t i = 0; i < d.num_lines(); ++i) {
+    const auto proto = d.agent().effective_protocol(d.line_addr(i));
+    if (proto == coherence::Protocol::kUpdate) {
+      // The update protocol keeps the directory empty (Section IV-A2);
+      // any tracked CPU sharer here is stale by definition.
+      return i;
+    }
+    if (d.cpu_state(i) == coherence::MesiState::kInvalid &&
+        (d.sharer_mask(i) &
+         static_cast<std::uint8_t>(coherence::Sharer::kCpu)) == 0) {
+      // Invalidation mode: claim a CPU sharer for a line the CPU does not
+      // actually hold.
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool StaleSnoopSharerMutation::applicable(const Driver& d) const {
+  return find_target(d).has_value();
+}
+
+void StaleSnoopSharerMutation::apply(Driver& d) {
+  const auto target = find_target(d);
+  // add_sharer notifies the checker, but sharer changes are only recorded;
+  // the violation surfaces at the model checker's per-action
+  // verify_quiescent() sweep as kSnoopFilter.
+  d.agent().snoop_filter().add_sharer(d.line_addr(*target),
+                                      coherence::Sharer::kCpu);
+}
+
+bool DivergentFlushMutation::applicable(const Driver& d) const {
+  return d.config().param_lines > 0;
+}
+
+void DivergentFlushMutation::after_flush(Driver& d) {
+  // Toggle the last byte of param0 on every flush: value-consistent (the
+  // oracle moves with it) but the canonical state alternates forever, so
+  // the fence+flush quiescence loop never finds a fixpoint.
+  d.perturb_device_byte(0, mem::kLineBytes - 1);
+}
+
+}  // namespace teco::mc

@@ -1,0 +1,92 @@
+// Protocol-mutation hooks: seeded defects the model checker must catch.
+//
+// tests/check_test.cpp (PR 1) injects illegal transitions, dropped
+// FlushData payloads and stale snoop-filter sharers at hand-picked points
+// and asserts the runtime checker fires. These hooks re-inject the same
+// three defect families as a *nondeterministic action* (Action::kMutate):
+// the model checker explores firing the mutation at every reachable state
+// where it applies, proving the detection is exhaustive rather than
+// coincidental — and, because the search is breadth-first, the reported
+// counterexample is a minimal action trace to the defect.
+//
+// Hooks must be stateless with respect to a particular Driver instance:
+// the checker rebuilds and replays drivers constantly, so every decision
+// has to be derived from the driver passed in, never cached.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "coherence/mesi.hpp"
+#include "mc/driver.hpp"
+
+namespace teco::mc {
+
+class MutationHook {
+ public:
+  virtual ~MutationHook() = default;
+  virtual std::string_view name() const = 0;
+  /// Whether the defect can be injected in the driver's current state.
+  virtual bool applicable(const Driver& d) const = 0;
+  /// Inject the defect (runs as the kMutate action, at most once per path).
+  virtual void apply(Driver& d) = 0;
+  /// Called after every cpu_flush_all once the mutation has fired; lets a
+  /// hook model a component that keeps perturbing state (livelock tests).
+  virtual void after_flush(Driver& d) { (void)d; }
+};
+
+/// Directly pokes a giant-cache line into a state the effective protocol
+/// forbids (e.g. I->M, or M->S under invalidation MESI). The strict
+/// checker judges external pokes immediately, so the checker's BFS finds
+/// the shortest path to a state where any illegal target exists.
+class IllegalTransitionMutation final : public MutationHook {
+ public:
+  std::string_view name() const override { return "illegal-transition"; }
+  bool applicable(const Driver& d) const override;
+  void apply(Driver& d) override;
+
+ private:
+  static std::optional<std::pair<std::uint8_t, coherence::MesiState>>
+  find_target(const Driver& d);
+};
+
+/// Models a lost FlushData payload: after a push has populated a device
+/// line, its bytes silently revert to the pre-push contents while the
+/// protocol state claims the push landed. Caught as a data-value violation
+/// on the consumer's next read and as oracle divergence at the state.
+class DroppedFlushDataMutation final : public MutationHook {
+ public:
+  std::string_view name() const override { return "dropped-flushdata"; }
+  bool applicable(const Driver& d) const override;
+  void apply(Driver& d) override;
+
+ private:
+  static std::optional<std::uint8_t> find_target(const Driver& d);
+};
+
+/// Plants a stale CPU sharer in the snoop filter on a line whose directory
+/// must not track one (the update protocol keeps the filter empty —
+/// Section IV-A2). Caught by the whole-domain quiescent sweep.
+class StaleSnoopSharerMutation final : public MutationHook {
+ public:
+  std::string_view name() const override { return "stale-snoop-sharer"; }
+  bool applicable(const Driver& d) const override;
+  void apply(Driver& d) override;
+
+ private:
+  static std::optional<std::uint8_t> find_target(const Driver& d);
+};
+
+/// Livelock modeling (negative liveness test): once fired, every flush
+/// perturbs a device line's last byte, so fence+flush_all never reaches a
+/// canonical fixpoint.
+class DivergentFlushMutation final : public MutationHook {
+ public:
+  std::string_view name() const override { return "divergent-flush"; }
+  bool applicable(const Driver& d) const override;
+  void apply(Driver&) override {}  // Arming only; the damage is per flush.
+  void after_flush(Driver& d) override;
+};
+
+}  // namespace teco::mc

@@ -1,0 +1,100 @@
+#include "mc/state_vector.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+namespace teco::mc {
+
+namespace {
+
+struct LineRec {
+  std::array<std::uint8_t, 5> meta{};  ///< cpu, gc, sharers, flags, conv.
+  mem::BackingStore::Line cpu{};
+  mem::BackingStore::Line dev{};
+
+  bool operator<(const LineRec& o) const {
+    return std::tie(meta, cpu, dev) < std::tie(o.meta, o.cpu, o.dev);
+  }
+};
+
+/// Apply the value-role swap to one line, byte-positionally: at each
+/// word offset k, bytes of value_bits[0] and value_bits[1] exchange.
+/// This is exactly the content a run would hold had every write used the
+/// other value — DBA merges, zero lines and poison junk map correctly
+/// (merge(v0,v1) <-> merge(v1,v0); zeros/0xEF are fixed points) — which is
+/// what makes quotienting by the swap sound.
+mem::BackingStore::Line swap_values(const mem::BackingStore::Line& line,
+                                    const std::array<std::uint32_t, 2>& v) {
+  std::array<std::uint8_t, 4> b0{};
+  std::array<std::uint8_t, 4> b1{};
+  for (std::size_t k = 0; k < 4; ++k) {
+    b0[k] = static_cast<std::uint8_t>(v[0] >> (8 * k));
+    b1[k] = static_cast<std::uint8_t>(v[1] >> (8 * k));
+  }
+  mem::BackingStore::Line out = line;
+  for (std::size_t j = 0; j < mem::kLineBytes; ++j) {
+    const std::size_t k = j % 4;
+    if (out[j] == b0[k]) {
+      out[j] = b1[k];
+    } else if (out[j] == b1[k]) {
+      out[j] = b0[k];
+    }
+  }
+  return out;
+}
+
+std::string serialize(const Driver& d, bool sort_lines, bool swapped) {
+  std::string key;
+  key.reserve(8 + d.num_lines() * (8 + 2 * mem::kLineBytes));
+  key.push_back(d.mutation_fired() ? 'M' : '-');
+  key.push_back(static_cast<char>('0' + d.agent().dba().encode()));
+
+  const DriverConfig& cfg = d.config();
+  const auto emit_region = [&](std::uint8_t first, std::uint8_t count) {
+    if (count == 0) return;
+    key.push_back(d.region_demoted(first) ? 'D' : '-');
+    std::vector<LineRec> recs;
+    recs.reserve(count);
+    for (std::uint8_t i = first; i < first + count; ++i) {
+      LineRec r;
+      r.meta = {static_cast<std::uint8_t>(d.cpu_state(i)),
+                static_cast<std::uint8_t>(d.gc_state(i)), d.sharer_mask(i),
+                static_cast<std::uint8_t>((d.needs_scrub(i) ? 1 : 0) |
+                                          (d.ever_pushed(i) ? 2 : 0)),
+                d.conv_low_bytes(i)};
+      r.cpu = d.cpu_line(i);
+      r.dev = d.dev_line(i);
+      if (swapped) {
+        r.cpu = swap_values(r.cpu, cfg.value_bits);
+        r.dev = swap_values(r.dev, cfg.value_bits);
+      }
+      recs.push_back(r);
+    }
+    if (sort_lines && recs.size() > 1) std::sort(recs.begin(), recs.end());
+    for (const LineRec& r : recs) {
+      for (std::uint8_t m : r.meta) {
+        key.push_back(static_cast<char>('0' + m));
+      }
+      key.append(reinterpret_cast<const char*>(r.cpu.data()), r.cpu.size());
+      key.append(reinterpret_cast<const char*>(r.dev.data()), r.dev.size());
+    }
+  };
+  emit_region(0, cfg.param_lines);
+  emit_region(cfg.param_lines, cfg.grad_lines);
+  return key;
+}
+
+}  // namespace
+
+std::string canonical_state(const Driver& d, bool symmetry) {
+  if (!symmetry) return serialize(d, /*sort_lines=*/false, /*swapped=*/false);
+  // Canonical representative: minimum over the symmetry group — line
+  // permutations within a region (handled by sorting) x the value-role
+  // swap (handled by serializing both and keeping the smaller).
+  std::string id = serialize(d, /*sort_lines=*/true, /*swapped=*/false);
+  std::string sw = serialize(d, /*sort_lines=*/true, /*swapped=*/true);
+  return sw < id ? sw : id;
+}
+
+}  // namespace teco::mc

@@ -1,0 +1,35 @@
+// Canonical state-vector extraction for the explicit-state model checker.
+//
+// A state is everything that determines future behavior of the driven
+// domain: per line the CPU and giant-cache MESI states, the snoop-filter
+// sharer mask, the scrub/push flags, and the *contents* of both memory
+// copies; globally the DBA register, per-region demotion flags and the
+// one-shot mutation flag. Simulated time is deliberately excluded — the
+// protocol's state behavior is time-independent (the closed-form link
+// resolves timing at fences), and including it would make every state
+// unique. Timing races are the HB analyzer's domain instead.
+//
+// Two symmetry reductions keep the space small, both sound because the
+// protocol treats lines within a region and data bytes opaquely:
+//  * Line symmetry — lines are sorted within their region by their full
+//    record, so permuting identically-configured lines collapses.
+//  * Value symmetry — the key is the lexicographic minimum of the state
+//    serialized under the identity and under the explicit value-role swap
+//    (bytes of value_bits[0] and value_bits[1] exchanged positionally), so
+//    runs differing only in which write value played which role collapse.
+//    First-occurrence renaming would be unsound here: DBA merges derive
+//    third patterns from the two values, and renaming merges states no
+//    global value permutation relates.
+#pragma once
+
+#include <string>
+
+#include "mc/driver.hpp"
+
+namespace teco::mc {
+
+/// Serialize the driver's current state to a canonical key. `symmetry`
+/// disables both reductions when false (for measuring their effect).
+std::string canonical_state(const Driver& d, bool symmetry);
+
+}  // namespace teco::mc

@@ -65,7 +65,16 @@ CacheLineMeta& Cache::insert(Addr addr, std::uint8_t state, bool dirty) {
     set.push_back(CacheLineMeta{base, true, dirty, state, ++tick_});
     return set.back();
   }
-  // Evict LRU victim.
+  // Reuse an invalidated slot before evicting anything: a husk left by
+  // invalidate() is free capacity, and "evicting" one would report a drop
+  // (with its stale state byte) for a line that is not resident at all.
+  for (auto& line : set) {
+    if (!line.valid) {
+      line = CacheLineMeta{base, true, dirty, state, ++tick_};
+      return line;
+    }
+  }
+  // Evict the LRU victim (every slot is valid here).
   CacheLineMeta* victim = &set.front();
   for (auto& line : set) {
     if (line.last_use < victim->last_use) victim = &line;

@@ -2,9 +2,19 @@
 //
 // This is the substrate under the CXL link model and the offload timeline
 // simulator: components schedule callbacks at absolute simulated times and
-// the engine runs them in (time, insertion-order) order. Ties are broken by
-// a monotonically increasing sequence number so replays are bit-identical —
-// a requirement for the regression tests that pin exact transfer schedules.
+// the engine runs them in (time, insertion-order) order.
+//
+// Same-timestamp ordering is a contract, not an accident. Every Entry
+// carries a sequence number drawn from a monotone counter at schedule_at()
+// time, and the heap comparator orders by (when, seq) — so events at equal
+// times run strictly FIFO in schedule order, including events scheduled
+// *during* another event at the same timestamp (they get later sequence
+// numbers, so they run after everything already queued at that instant).
+// Two runs that issue the same schedule calls therefore execute callbacks
+// in bit-identical order. The model checker (teco::mc) pins state-space
+// counts as goldens and cxl::EventChannel interleaves per-packet delivery
+// callbacks with fence drains at equal timestamps; both depend on this
+// tie-break being deterministic. tests/sim_test.cpp locks the contract.
 #pragma once
 
 #include <cstdint>

@@ -143,6 +143,57 @@ TEST(TransitionMatrix, MToSInsideDemandReadIsAccepted) {
 
 // --- Invariant (a): SWMR + snoop consistency -------------------------------
 
+TEST(TransitionMatrix, DeviceWriteAllocateFromInvalidIsLegal) {
+  // Regression (found by the teco::mc model checker): a device write to a
+  // line the giant cache does not hold must take the same two-step
+  // I->E->M ownership path the CPU-side write allocator models; the raw
+  // I->M poke it used to issue is exactly what the matrix above forbids.
+  Domain d(Protocol::kInvalidation);
+  d.gc.set_state(kParamBase, MesiState::kInvalid);  // Pre-attach setup.
+  auto chk = d.attach();
+  EXPECT_NO_THROW(d.agent->device_write_line(0.0, kParamBase));
+  EXPECT_EQ(d.gc.state(kParamBase), MesiState::kModified);
+}
+
+TEST(DbaMerge, IneligibleRegionPushesFullLinesUnderTrim) {
+  // Regression: with DBA trimming active, a push of a non-eligible
+  // (gradient) line must bypass the aggregator and move all 64 bytes —
+  // trimming it would splice dirty low bytes into whatever junk the
+  // device holds. The strict checker's data-value invariant watches the
+  // same rule, so this must also stay silent.
+  Domain d(Protocol::kUpdate, dba::DbaRegister(true, 2));
+  auto chk = d.attach();
+  for (int i = 0; i < 16; ++i) {
+    d.cpu_mem.write_f32(kGradBase + 4 * i, 1.25f + i);
+  }
+  EXPECT_NO_THROW({
+    d.agent->cpu_write_line(0.0, kGradBase);
+    d.agent->cxl_fence(0.0);
+  });
+  EXPECT_EQ(d.device_mem.read_line(kGradBase), d.cpu_mem.read_line(kGradBase));
+}
+
+TEST(DataValue, DeviceWriteRefreshesExpectedBytes) {
+  // Regression: once the device takes ownership and writes a DBA-eligible
+  // line, the checker must re-snapshot its expected device bytes — judging
+  // later reads against the pre-write snapshot is a false positive.
+  Domain d(Protocol::kUpdate, dba::DbaRegister(true, 2));
+  auto chk = d.attach();
+  for (int i = 0; i < 16; ++i) {
+    d.cpu_mem.write_f32(kParamBase + 4 * i, 1.0f);
+  }
+  d.agent->cpu_write_line(0.0, kParamBase);
+  d.agent->cxl_fence(0.0);  // Push lands; expected_dev snapshotted.
+  for (int i = 0; i < 16; ++i) {
+    d.device_mem.write_f32(kParamBase + 4 * i, 2.0f);
+  }
+  EXPECT_NO_THROW({
+    d.agent->device_write_line(0.0, kParamBase);
+    d.agent->cxl_fence(0.0);
+    d.agent->device_read_line(0.0, kParamBase);
+  });
+}
+
 TEST(Swmr, SecondOwnerInjectionIsDetected) {
   Domain d(Protocol::kInvalidation);
   auto checker = d.attach();

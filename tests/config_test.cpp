@@ -113,6 +113,33 @@ TEST(ConfigParser, FtSeedRejectsNegativeAndJunk) {
   EXPECT_EQ(ok.session.ft_seed, 0u);
 }
 
+TEST(ConfigParser, CheckHbImpliesStrictAndRoundTrips) {
+  const auto parsed = core::parse_config("check = hb");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.session.check, check::CheckLevel::kStrict);
+  EXPECT_TRUE(parsed.session.check_hb);
+  // The serializer writes the hb spelling back, not plain "strict".
+  const std::string text = core::to_config_text(parsed.session);
+  EXPECT_NE(text.find("check = hb"), std::string::npos);
+  const auto again = core::parse_config(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.session.check_hb);
+  EXPECT_EQ(again.session.check, check::CheckLevel::kStrict);
+}
+
+TEST(ConfigParser, CheckLastValueWins) {
+  // A later check line fully replaces an earlier one — including turning
+  // the hb recorder back off.
+  const auto downgraded = core::parse_config("check = hb\ncheck = count\n");
+  ASSERT_TRUE(downgraded.ok());
+  EXPECT_FALSE(downgraded.session.check_hb);
+  EXPECT_EQ(downgraded.session.check, check::CheckLevel::kCount);
+  const auto upgraded = core::parse_config("check = off\ncheck = hb\n");
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_TRUE(upgraded.session.check_hb);
+  EXPECT_EQ(upgraded.session.check, check::CheckLevel::kStrict);
+}
+
 TEST(ConfigParser, RoundTripsThroughSerializer) {
   core::SessionConfig cfg;
   cfg.protocol = coherence::Protocol::kInvalidation;

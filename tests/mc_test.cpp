@@ -1,0 +1,277 @@
+// teco::mc — exhaustive model checker, mutation hooks, HB race analyzer.
+//
+// The state/edge counts pinned here are goldens in the strongest sense:
+// BFS over a fixed alphabet is deterministic, so any drift means the
+// protocol's reachable state space changed — either an intentional
+// protocol change (re-measure and update) or a nondeterminism bug.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/session.hpp"
+#include "mc/hb_analyzer.hpp"
+#include "mc/model_checker.hpp"
+#include "mc/mutation_hook.hpp"
+
+namespace {
+
+using namespace teco;
+
+// Every sweep in this file must stay far inside the 60 s CI budget for
+// the whole mc-exhaustive job; individually they run in well under 1 s.
+constexpr double kWallBudgetSeconds = 60.0;
+
+mc::McResult sweep(const mc::McConfig& cfg) {
+  mc::McResult r = mc::ModelChecker(cfg).run();
+  EXPECT_FALSE(r.truncated) << r.summary();
+  EXPECT_LT(r.wall_seconds, kWallBudgetSeconds);
+  return r;
+}
+
+// --- Exhaustive healthy sweeps: golden state-space counts -------------------
+
+TEST(ModelChecker, UpdateTwoParamLinesExhaustive) {
+  mc::McConfig cfg;
+  cfg.driver.param_lines = 2;
+  cfg.driver.grad_lines = 0;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.states, 2464u);
+  EXPECT_EQ(r.edges, 37160u);
+  EXPECT_EQ(r.deduped, 34697u);
+  EXPECT_EQ(r.max_depth, 10u);
+}
+
+TEST(ModelChecker, UpdateParamPlusGradExhaustive) {
+  mc::McConfig cfg;
+  cfg.driver.param_lines = 1;
+  cfg.driver.grad_lines = 1;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.states, 3616u);
+  EXPECT_EQ(r.edges, 55644u);
+}
+
+TEST(ModelChecker, InvalidationTwoParamLinesExhaustive) {
+  mc::McConfig cfg;
+  cfg.driver.protocol = coherence::Protocol::kInvalidation;
+  cfg.driver.param_lines = 2;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  // Invalidation MESI has no FlushData pushes, trims or scrub obligations:
+  // its reachable space is a fraction of the update protocol's.
+  EXPECT_EQ(r.states, 450u);
+  EXPECT_EQ(r.edges, 6750u);
+  EXPECT_EQ(r.max_depth, 7u);
+}
+
+TEST(ModelChecker, FtModeExhaustive) {
+  mc::McConfig cfg;
+  cfg.driver.ft = true;
+  cfg.driver.param_lines = 2;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.states, 5630u);
+  EXPECT_EQ(r.edges, 85692u);
+}
+
+TEST(ModelChecker, FtModeParamPlusGradExhaustive) {
+  mc::McConfig cfg;
+  cfg.driver.ft = true;
+  cfg.driver.param_lines = 1;
+  cfg.driver.grad_lines = 1;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.states, 12418u);
+  EXPECT_EQ(r.edges, 179256u);
+}
+
+TEST(ModelChecker, SymmetryReductionShrinksTheSpace) {
+  mc::McConfig cfg;
+  cfg.driver.protocol = coherence::Protocol::kInvalidation;
+  cfg.driver.param_lines = 2;
+  const mc::McResult reduced = sweep(cfg);
+  cfg.symmetry = false;
+  const mc::McResult full = sweep(cfg);
+  EXPECT_TRUE(full.ok()) << full.summary();
+  // The quotient must be sound (no new failures either way) and strict
+  // (two interchangeable lines x two interchangeable values collapse).
+  EXPECT_GT(full.states, reduced.states);
+  EXPECT_GT(full.edges, reduced.edges);
+}
+
+TEST(ModelChecker, RepeatedRunsAreDeterministic) {
+  mc::McConfig cfg;
+  cfg.driver.param_lines = 2;
+  const mc::McResult a = sweep(cfg);
+  const mc::McResult b = sweep(cfg);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.deduped, b.deduped);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+}
+
+// --- Seeded defects: exhaustive detection with minimal counterexamples -----
+
+TEST(ModelCheckerMutation, IllegalTransitionCaught) {
+  mc::McConfig cfg;
+  cfg.driver.protocol = coherence::Protocol::kInvalidation;
+  cfg.driver.param_lines = 2;
+  mc::IllegalTransitionMutation hook;
+  cfg.mutation = &hook;
+  const mc::McResult r = sweep(cfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.found(check::ViolationKind::kIllegalTransition))
+      << r.summary();
+  ASSERT_FALSE(r.violations.empty());
+  // BFS yields a minimal trace: one write to leave the reset state, then
+  // the poke. Print it — the issue's acceptance gate asks for the trace.
+  const mc::Counterexample& c = r.violations.front();
+  EXPECT_EQ(c.path.size(), 2u);
+  EXPECT_EQ(c.path.back().kind, mc::Action::Kind::kMutate);
+  std::puts(mc::format_counterexample(c, cfg).c_str());
+}
+
+TEST(ModelCheckerMutation, DroppedFlushDataCaught) {
+  mc::McConfig cfg;
+  cfg.driver.param_lines = 2;
+  mc::DroppedFlushDataMutation hook;
+  cfg.mutation = &hook;
+  const mc::McResult r = sweep(cfg);
+  ASSERT_FALSE(r.ok());
+  // The silent payload loss surfaces twice: the byte oracle diverges at
+  // the mutated state itself (depth 2), and the runtime checker's
+  // data-value invariant fires on the consumer's next read (depth 3).
+  EXPECT_TRUE(r.found(check::ViolationKind::kDataValue)) << r.summary();
+  ASSERT_FALSE(r.divergences.empty());
+  EXPECT_EQ(r.divergences.front().path.size(), 2u);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations.front().path.size(), 3u);
+  std::puts(mc::format_counterexample(r.divergences.front(), cfg).c_str());
+  std::puts(mc::format_counterexample(r.violations.front(), cfg).c_str());
+}
+
+TEST(ModelCheckerMutation, StaleSnoopSharerCaught) {
+  mc::McConfig cfg;
+  cfg.driver.param_lines = 2;
+  mc::StaleSnoopSharerMutation hook;
+  cfg.mutation = &hook;
+  const mc::McResult r = sweep(cfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.found(check::ViolationKind::kSnoopFilter)) << r.summary();
+  ASSERT_FALSE(r.violations.empty());
+  // The update protocol must keep the filter empty, so the very first
+  // action can already plant the stale sharer: a depth-1 counterexample.
+  const mc::Counterexample& c = r.violations.front();
+  EXPECT_EQ(c.path.size(), 1u);
+  EXPECT_EQ(c.path.front().kind, mc::Action::Kind::kMutate);
+  std::puts(mc::format_counterexample(c, cfg).c_str());
+}
+
+// --- Liveness negatives ----------------------------------------------------
+
+TEST(ModelCheckerLiveness, DivergentFlushIsALivelock) {
+  mc::McConfig cfg;
+  cfg.driver.param_lines = 2;
+  mc::DivergentFlushMutation hook;
+  cfg.mutation = &hook;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_GT(r.livelocks_total, 0u) << r.summary();
+  ASSERT_FALSE(r.livelocks.empty());
+  // Arming the perturbation is enough: the quiesce probe at the mutated
+  // state itself never fixpoints.
+  EXPECT_EQ(r.livelocks.front().path.size(), 1u);
+  std::puts(mc::format_counterexample(r.livelocks.front(), cfg).c_str());
+}
+
+TEST(ModelCheckerLiveness, UnscrubbableFaultsDeadlockAndStick) {
+  mc::McConfig cfg;
+  cfg.driver.ft = true;
+  cfg.driver.allow_scrub = false;
+  cfg.driver.param_lines = 2;
+  const mc::McResult r = sweep(cfg);
+  // Without the scrub action a crash leaves no data-progress action
+  // enabled (deadlock) and a poisoned line can never become serviceable
+  // again (stuck: AG EF good fails).
+  EXPECT_EQ(r.deadlocks_total, 136u) << r.summary();
+  EXPECT_EQ(r.stuck_total, 824u) << r.summary();
+  EXPECT_EQ(r.violations_total, 0u) << r.summary();
+  ASSERT_FALSE(r.deadlocks.empty());
+  EXPECT_EQ(r.deadlocks.front().path.size(), 1u);
+  EXPECT_EQ(r.deadlocks.front().path.front().kind,
+            mc::Action::Kind::kCrash);
+  ASSERT_FALSE(r.stuck.empty());
+  EXPECT_EQ(r.stuck.front().path.size(), 1u);
+  EXPECT_EQ(r.stuck.front().path.front().kind, mc::Action::Kind::kPoison);
+}
+
+TEST(ModelCheckerLiveness, ScrubRestoresLiveness) {
+  mc::McConfig cfg;
+  cfg.driver.ft = true;
+  cfg.driver.allow_scrub = true;
+  cfg.driver.param_lines = 2;
+  const mc::McResult r = sweep(cfg);
+  EXPECT_EQ(r.deadlocks_total, 0u) << r.summary();
+  EXPECT_EQ(r.stuck_total, 0u) << r.summary();
+}
+
+// --- Happens-before analyzer over core::Session traces ---------------------
+
+core::SessionConfig hb_session_config() {
+  core::SessionConfig cfg;
+  cfg.check_hb = true;
+  cfg.act_aft_steps = 1;
+  return cfg;
+}
+
+TEST(HbAnalyzer, CleanTrainingLoopHasNoRaces) {
+  core::Session s(hb_session_config());
+  const std::vector<float> vals(64, 1.0f);  // Four cache lines.
+  const auto params = s.allocate_parameters("params", 64 * 4);
+  const auto grads = s.allocate_gradients("grads", 64 * 4);
+  s.seed_cpu_memory(params, vals);
+  s.seed_device_memory(grads, vals);
+  for (std::size_t step = 0; step < 3; ++step) {
+    (void)s.device_read_parameters(params, 64);
+    s.device_write_gradients(grads, vals);
+    s.backward_complete();
+    s.check_activation(step);
+    (void)s.cpu_read_gradients(grads, 64);
+    s.cpu_write_parameters(params, vals);
+    s.optimizer_step_complete();
+  }
+  const mc::HbReport rep = s.analyze_hb();
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(rep.accesses, 48u);
+  EXPECT_EQ(rep.fences, 12u);
+}
+
+TEST(HbAnalyzer, PreFenceDeviceReadIsARace) {
+  core::Session s(hb_session_config());
+  const std::vector<float> vals(64, 1.0f);
+  const auto params = s.allocate_parameters("params", 64 * 4);
+  s.seed_cpu_memory(params, vals);
+  s.cpu_write_parameters(params, vals);
+  // The CPU's FlushData pushes are still in flight; reading before the
+  // optimizer fence means nothing orders the device's loads after them.
+  (void)s.device_read_parameters(params, 64);
+  s.optimizer_step_complete();
+  const mc::HbReport rep = s.analyze_hb();
+  EXPECT_EQ(rep.races_total, 4u) << rep.to_string();
+  ASSERT_FALSE(rep.races.empty());
+  const mc::HbRace& race = rep.races.front();
+  EXPECT_EQ(race.current.agent, mc::HbAgent::kDevice);
+  EXPECT_FALSE(race.current.is_write);
+  EXPECT_EQ(race.prior.agent, mc::HbAgent::kCpu);
+  EXPECT_TRUE(race.prior.is_write);
+  // Drain the teardown stderr lint into the test log (it must not throw).
+  std::puts(rep.to_string().c_str());
+}
+
+TEST(HbAnalyzer, AnalyzeWithoutRecorderThrows) {
+  core::SessionConfig cfg;  // check = strict, no recorder.
+  core::Session s(cfg);
+  EXPECT_THROW((void)s.analyze_hb(), std::logic_error);
+}
+
+}  // namespace

@@ -114,6 +114,31 @@ TEST(Cache, InvalidateOptionalWriteback) {
   EXPECT_EQ(wb, 1);
 }
 
+TEST(Cache, InsertReusesInvalidatedSlotBeforeEvicting) {
+  // Regression: invalidate() leaves a valid=false husk in the set. A full
+  // set with a husk has free capacity — insert() must reuse it instead of
+  // evicting a live line, and must not report a phantom on_cache_drop for
+  // the husk (whose stale state byte would corrupt an attached checker's
+  // mirror of CPU residency). Found by the teco::mc model checker.
+  struct DropCounter final : check::Observer {
+    int drops = 0;
+    void on_cache_drop(Addr, std::uint8_t, bool) override { ++drops; }
+  };
+  Cache c(CacheConfig{2 * 64, 2, 64});  // One set, two ways.
+  DropCounter obs;
+  c.set_observer(&obs);
+  c.insert(0, 1, false);
+  c.insert(64, 1, false);
+  EXPECT_TRUE(c.invalidate(0));  // Husk occupies a slot; one real drop.
+  EXPECT_EQ(obs.drops, 1);
+  c.insert(128, 1, false);  // Must land in the husk's slot.
+  EXPECT_EQ(obs.drops, 1);  // No phantom drop for the husk.
+  EXPECT_EQ(c.stats().evictions, 0u);
+  EXPECT_TRUE(c.contains(64));  // The live line survived.
+  EXPECT_TRUE(c.contains(128));
+  EXPECT_EQ(c.resident_lines(), 2u);
+}
+
 TEST(Cache, InsertUpdatesExistingLine) {
   Cache c(llc_config());
   c.insert(0, 1, false);

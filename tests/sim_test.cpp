@@ -43,6 +43,54 @@ TEST(EventQueue, TiesBreakFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventQueue, NestedSameTimeTiesRunAfterQueuedTies) {
+  // An event scheduled at the *current* timestamp from inside a running
+  // event draws a later sequence number, so it runs after every event
+  // already queued at that instant — nested work cannot jump the line.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] {
+    order.push_back(0);
+    q.schedule_at(1.0, [&] { order.push_back(3); });
+  });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(1.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, SeededReplayIsDeterministic) {
+  // Two queues fed the same seeded schedule — random times drawn from a
+  // small set so same-timestamp collisions are common, plus nested
+  // rescheduling — must execute callbacks in bit-identical order. This is
+  // the replay guarantee the header documents.
+  const auto run_once = [](std::uint64_t seed) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i) {
+      const Time when = static_cast<Time>(rng.next_below(8));
+      q.schedule_at(when, [&q, &rng, &order, i] {
+        order.push_back(i);
+        if (rng.next_bool(0.25)) {
+          q.schedule_after(static_cast<Time>(rng.next_below(3)),
+                           [&order, i] { order.push_back(1000 + i); });
+        }
+      });
+    }
+    q.run();
+    return order;
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  // A different seed produces a different schedule (sanity: the test is
+  // not vacuously comparing empty or trivially-equal orders).
+  EXPECT_NE(run_once(43), a);
+}
+
 TEST(EventQueue, NestedScheduling) {
   EventQueue q;
   std::vector<int> order;
