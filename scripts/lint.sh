@@ -28,6 +28,39 @@ else
   echo "lint.sh: ${hb_lint_bin} not built; skipping the HB trace lint"
 fi
 
+# --- teco-lint: determinism & shard-safety static analysis ------------------
+# Token-level linter (tools/lint/teco_lint.cpp) over src/: unordered-iter,
+# wallclock, ptr-order, fp-reduce. The committed tree must carry zero
+# unsuppressed findings, and the allow() suppression count is budgeted —
+# raising TECO_LINT_MAX_SUPPRESSIONS is a deliberate, reviewed act.
+# Before trusting the clean run, the linter proves its own sensitivity on
+# the committed fixtures: the clean fixture must stay silent and every
+# planted fixture must trip its rule, else we fail loudly (a linter that
+# stopped seeing hazards would otherwise pass everything forever).
+teco_lint_bin="${TECO_BUILD_DIR:-build}/tools/lint/teco_lint"
+if [[ ! -x "${teco_lint_bin}" ]]; then
+  echo "lint.sh: building teco_lint"
+  cmake -B "${TECO_BUILD_DIR:-build}" -S . >/dev/null &&
+    cmake --build "${TECO_BUILD_DIR:-build}" --target teco_lint >/dev/null ||
+    { echo "lint.sh: failed to build teco_lint" >&2; exit 1; }
+fi
+
+echo "lint.sh: teco-lint fixture self-test"
+"${teco_lint_bin}" --no-summary tests/lint_fixtures/clean.cpp ||
+  { echo "lint.sh: teco-lint flagged the clean fixture" >&2; exit 1; }
+for rule in unordered_iter wallclock ptr_order fp_reduce; do
+  fixture="tests/lint_fixtures/planted_${rule}.cpp"
+  if "${teco_lint_bin}" --no-summary "${fixture}" >/dev/null 2>&1; then
+    echo "lint.sh: teco-lint MISSED the planted ${rule} fixture" >&2
+    exit 1
+  fi
+done
+
+echo "lint.sh: teco-lint over src/"
+"${teco_lint_bin}" --max-suppressions="${TECO_LINT_MAX_SUPPRESSIONS:-7}" src ||
+  { echo "lint.sh: teco-lint found hazards (or the suppression budget grew)" >&2
+    exit 1; }
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found; skipping lint (install LLVM to enable)"
   exit 0

@@ -565,8 +565,17 @@ void ProtocolChecker::on_dba_merge(const std::uint8_t* old_line,
 }
 
 void ProtocolChecker::verify_quiescent() {
-  for (const auto& [key, li] : lines_) {
+  // Sweep in ascending line order: which violation fires (and, in strict
+  // mode, throws) first must not depend on hash-table layout, or two runs
+  // of the same scenario report different counterexamples.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(lines_.size());
+  // teco-lint: allow(unordered-iter)
+  for (const auto& [key, li] : lines_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
     const mem::Addr line = key * mem::kLineBytes;
+    const LineInfo& li = lines_.find(key)->second;
     check_swmr(line, li);
     check_snoop(line, li);
   }

@@ -6,6 +6,7 @@ GiantCacheRegion& GiantCache::map_region(std::string name, mem::Addr base,
                                          std::uint64_t bytes,
                                          MesiState initial_state,
                                          bool dba_eligible) {
+  shard_.assert_held();
   if (!mem::line_aligned(base) || bytes % mem::kLineBytes != 0) {
     throw std::invalid_argument("giant-cache regions must be line-aligned");
   }
@@ -33,6 +34,7 @@ GiantCacheRegion& GiantCache::map_region(std::string name, mem::Addr base,
 }
 
 const GiantCacheRegion* GiantCache::find(mem::Addr addr) const {
+  shard_.assert_held();
   for (const auto& r : regions_) {
     if (r.region.contains_line(addr)) return &r;
   }
@@ -40,6 +42,7 @@ const GiantCacheRegion* GiantCache::find(mem::Addr addr) const {
 }
 
 GiantCacheRegion* GiantCache::find(mem::Addr addr) {
+  shard_.assert_held();
   for (auto& r : regions_) {
     if (r.region.contains_line(addr)) return &r;
   }
@@ -71,6 +74,7 @@ void GiantCache::set_state(mem::Addr addr, MesiState s) {
 }
 
 std::uint64_t GiantCache::count_state(MesiState s) const {
+  shard_.assert_held();
   std::uint64_t n = 0;
   for (const auto& r : regions_) {
     for (const auto st : r.line_states) {

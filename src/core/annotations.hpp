@@ -1,0 +1,84 @@
+// Shard-affinity annotations: compile-time enforcement of the single-owner
+// discipline the sharded engine will depend on.
+//
+// The ROADMAP's sharded-engine refactor partitions the address space across
+// N home-agent shards, each with its own sim::EventQueue; correctness then
+// rests on a structural rule: *mutable domain state belongs to exactly one
+// shard and is only ever touched by code running on that shard*. Cross-shard
+// effects must travel through event channels (messages scheduled on the
+// owning shard's queue), never through direct field access.
+//
+// These macros map that rule onto Clang's thread-safety analysis
+// (-Wthread-safety): every component that will become shard-local declares a
+// ShardCapability member and marks its mutable state TECO_SHARD_AFFINE on
+// it. Member functions establish the capability with shard_.assert_held()
+// at entry (a no-op at runtime today — the tree is single-threaded — but an
+// ASSERT_CAPABILITY fact for the analyzer), and private helpers carry
+// TECO_REQUIRES so the analyzer verifies the whole call graph. Any future
+// code path that reaches guarded state without routing through the owning
+// component's API fails the TECO_THREAD_SAFETY=ON build.
+//
+// On non-Clang compilers every macro expands to nothing, so GCC builds are
+// untouched. docs/STATIC_ANALYSIS.md is the annotation guide; the
+// teco-lint tool (tools/lint/) is the dynamic-hazard companion.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TECO_TSA_(x) __attribute__((x))
+#endif
+#endif
+#ifndef TECO_TSA_
+#define TECO_TSA_(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable-like token).
+#define TECO_CAPABILITY(name) TECO_TSA_(capability(name))
+
+/// Field annotation: reads/writes require the given capability.
+#define TECO_GUARDED_BY(cap) TECO_TSA_(guarded_by(cap))
+
+/// Pointer/reference field annotation: the pointee is guarded.
+#define TECO_PT_GUARDED_BY(cap) TECO_TSA_(pt_guarded_by(cap))
+
+/// Function annotation: the caller must hold the capability.
+#define TECO_REQUIRES(...) TECO_TSA_(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define TECO_ACQUIRE(...) TECO_TSA_(acquire_capability(__VA_ARGS__))
+#define TECO_RELEASE(...) TECO_TSA_(release_capability(__VA_ARGS__))
+
+/// Function asserts (without blocking) that the capability is held.
+#define TECO_ASSERT_CAPABILITY(...) TECO_TSA_(assert_capability(__VA_ARGS__))
+
+/// Escape hatch for functions deliberately outside the analysis.
+#define TECO_NO_THREAD_SAFETY_ANALYSIS TECO_TSA_(no_thread_safety_analysis)
+
+/// Domain-state marker: this field is owned by one shard and may only be
+/// touched while that shard's capability is held. Alias of TECO_GUARDED_BY
+/// today; kept distinct so shard-owned state is greppable and so the
+/// sharded-engine PR can tighten it (e.g. add an acquired_before ordering)
+/// without re-annotating every field.
+#define TECO_SHARD_AFFINE(cap) TECO_GUARDED_BY(cap)
+
+namespace teco::core {
+
+/// The per-shard execution capability. One instance lives inside each
+/// component that will become shard-local (HomeAgent, SnoopFilter, caches,
+/// backing stores, DBA units, EventQueue). Today the engine is
+/// single-threaded, so holding the capability is a static fiction that
+/// assert_held() establishes for free; the sharded engine will make
+/// enter()/exit() real (pinning the shard's worker thread) while every
+/// annotation below stays as-is.
+class TECO_CAPABILITY("shard") ShardCapability {
+ public:
+  /// Establish the capability for the analyzer. Runtime no-op; the sharded
+  /// engine will turn this into an owning-thread check.
+  void assert_held() const TECO_ASSERT_CAPABILITY() {}
+
+  /// Explicit scope entry/exit, for the future shard worker loop.
+  void enter() const TECO_ACQUIRE() {}
+  void exit() const TECO_RELEASE() {}
+};
+
+}  // namespace teco::core

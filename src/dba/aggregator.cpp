@@ -4,6 +4,7 @@ namespace teco::dba {
 
 std::vector<std::uint8_t> Aggregator::pack(
     const mem::BackingStore::Line& line) const {
+  shard_.assert_held();
   ++lines_processed_;
   if (!reg_.trims()) {
     std::vector<std::uint8_t> full(line.begin(), line.end());

@@ -24,6 +24,9 @@ class Search {
   explicit Search(const McConfig& cfg) : cfg_(cfg) {}
 
   McResult run() {
+    // Wall-clock is reported-only telemetry (wall_seconds in McResult);
+    // nothing in the search or the state space depends on it.
+    // teco-lint: allow(wallclock)
     const auto t0 = std::chrono::steady_clock::now();
 
     auto d0 = rebuild();
@@ -60,6 +63,7 @@ class Search {
     if (cfg_.check_liveness && !result_.truncated) check_stuck();
 
     result_.wall_seconds =
+        // teco-lint: allow(wallclock) — report-only elapsed time.
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     return std::move(result_);

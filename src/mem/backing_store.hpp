@@ -6,12 +6,15 @@
 // lines read as zero, mirroring zero-initialized simulated DRAM.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
+#include "core/annotations.hpp"
 #include "mem/address.hpp"
 
 namespace teco::mem {
@@ -22,17 +25,20 @@ class BackingStore {
 
   /// Read the 64-byte line containing `addr` (zeros if never written).
   Line read_line(Addr addr) const {
+    shard_.assert_held();
     const auto it = lines_.find(line_index(addr));
     if (it == lines_.end()) return Line{};
     return it->second;
   }
 
   void write_line(Addr addr, const Line& data) {
+    shard_.assert_held();
     lines_[line_index(addr)] = data;
   }
 
   /// Byte-granular accessors that may straddle lines.
   void write(Addr addr, std::span<const std::uint8_t> bytes) {
+    shard_.assert_held();
     for (std::size_t i = 0; i < bytes.size(); ++i) {
       Line& line = lines_[line_index(addr + i)];
       line[(addr + i) % kLineBytes] = bytes[i];
@@ -40,6 +46,7 @@ class BackingStore {
   }
 
   void read(Addr addr, std::span<std::uint8_t> out) const {
+    shard_.assert_held();
     for (std::size_t i = 0; i < out.size(); ++i) {
       const auto it = lines_.find(line_index(addr + i));
       out[i] = it == lines_.end() ? 0 : it->second[(addr + i) % kLineBytes];
@@ -60,21 +67,40 @@ class BackingStore {
     write(addr, buf);
   }
 
-  std::size_t resident_lines() const { return lines_.size(); }
-  void clear() { lines_.clear(); }
+  std::size_t resident_lines() const {
+    shard_.assert_held();
+    return lines_.size();
+  }
+  void clear() {
+    shard_.assert_held();
+    lines_.clear();
+  }
 
-  /// Visit every resident line as (line base address, contents). Iteration
-  /// order is unspecified; used by the ft checkpoint engine to snapshot or
-  /// wipe stores without knowing the mapped regions.
+  /// Visit every resident line as (line base address, contents), in
+  /// ascending address order. The order is a contract, not a convenience:
+  /// the ft checkpoint engine and PersistentStore::commit serialize lines
+  /// in visit order, so it must not depend on hash-table layout (which
+  /// varies with insertion/rehash history) or replayed checkpoint images
+  /// stop being bit-identical. tests/lint_test.cpp pins this.
   template <typename Fn>
   void for_each_line(Fn&& fn) const {
-    for (const auto& [index, line] : lines_) {
-      fn(static_cast<Addr>(index * kLineBytes), line);
+    shard_.assert_held();
+    std::vector<std::uint64_t> indices;
+    indices.reserve(lines_.size());
+    // Keys are sorted below before any order escapes to the visitor.
+    // teco-lint: allow(unordered-iter)
+    for (const auto& [index, line] : lines_) indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    for (const std::uint64_t index : indices) {
+      fn(static_cast<Addr>(index * kLineBytes), lines_.find(index)->second);
     }
   }
 
  private:
-  std::unordered_map<std::uint64_t, Line> lines_;
+  // Byte contents belong to the shard that owns this address range;
+  // cross-shard reads must go through the coherence protocol, not here.
+  core::ShardCapability shard_;
+  std::unordered_map<std::uint64_t, Line> lines_ TECO_SHARD_AFFINE(shard_);
 };
 
 }  // namespace teco::mem

@@ -23,6 +23,7 @@ void upsert(std::vector<BenchReport::Entry>& entries, const std::string& key,
 }  // namespace
 
 BenchReport::BenchReport(std::string name)
+    // teco-lint: allow(wallclock) — host-side bench wall time only.
     : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
   const char* smoke = std::getenv("TECO_SMOKE");
   smoke_ = smoke != nullptr && smoke[0] == '1';
@@ -43,6 +44,7 @@ void BenchReport::set_headline(const std::string& key, double value) {
 
 std::string BenchReport::json() const {
   const double wall =
+      // teco-lint: allow(wallclock) — report-only elapsed time.
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_)
           .count();

@@ -60,6 +60,9 @@ class BenchReport {
   std::vector<Entry> config_;
   std::vector<Entry> headline_;
   const MetricsRegistry* registry_ = nullptr;
+  // Wall time of the host process, reported as wall_seconds in the bench
+  // JSON; never feeds back into simulated time or event order.
+  // teco-lint: allow(wallclock)
   std::chrono::steady_clock::time_point start_;
 };
 

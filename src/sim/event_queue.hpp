@@ -22,6 +22,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace teco::sim {
@@ -31,12 +32,21 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Current simulated time. Starts at 0 and only moves forward.
-  Time now() const { return now_; }
+  Time now() const {
+    shard_.assert_held();
+    return now_;
+  }
 
   /// Number of events not yet executed.
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const {
+    shard_.assert_held();
+    return heap_.size();
+  }
 
-  bool empty() const { return heap_.empty(); }
+  bool empty() const {
+    shard_.assert_held();
+    return heap_.empty();
+  }
 
   /// Schedule `cb` at absolute time `when`. Scheduling in the past (before
   /// `now()`) is a logic error and is clamped to `now()` after recording it
@@ -45,6 +55,7 @@ class EventQueue {
 
   /// Schedule `cb` at `now() + delay`.
   void schedule_after(Time delay, Callback cb) {
+    shard_.assert_held();
     schedule_at(now_ + delay, std::move(cb));
   }
 
@@ -60,8 +71,14 @@ class EventQueue {
   /// even if nothing was pending. Returns the number executed.
   std::size_t run_until(Time until);
 
-  std::uint64_t executed() const { return executed_; }
-  std::uint64_t clamped_past_schedules() const { return clamped_; }
+  std::uint64_t executed() const {
+    shard_.assert_held();
+    return executed_;
+  }
+  std::uint64_t clamped_past_schedules() const {
+    shard_.assert_held();
+    return clamped_;
+  }
 
  private:
   struct Entry {
@@ -76,11 +93,17 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  Time now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t clamped_ = 0;
+  // The queue IS the shard under the sharded engine: one EventQueue per
+  // shard, and scheduling onto another shard's queue must go through its
+  // event channel, never by calling schedule_at across the boundary. The
+  // (time,seq) FIFO contract above only holds shard-locally.
+  core::ShardCapability shard_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_
+      TECO_SHARD_AFFINE(shard_);
+  Time now_ TECO_SHARD_AFFINE(shard_) = 0.0;
+  std::uint64_t next_seq_ TECO_SHARD_AFFINE(shard_) = 0;
+  std::uint64_t executed_ TECO_SHARD_AFFINE(shard_) = 0;
+  std::uint64_t clamped_ TECO_SHARD_AFFINE(shard_) = 0;
 };
 
 }  // namespace teco::sim

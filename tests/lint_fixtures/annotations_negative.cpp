@@ -1,0 +1,19 @@
+// Annotation fixture: must FAIL to compile under Clang -Wthread-safety
+// (registered as a WILL_FAIL ctest entry). Reading a TECO_GUARDED_BY field
+// without holding the shard capability is exactly the mistake the
+// annotations exist to catch; if this file ever compiles under the
+// thread-safety analysis, the macros have silently stopped expanding.
+#include "core/annotations.hpp"
+
+namespace fixture {
+
+struct ShardState {
+  teco::core::ShardCapability shard;
+  int inflight TECO_GUARDED_BY(shard) = 0;
+};
+
+// BUG: touches `inflight` with no assert_held() / REQUIRES — Clang must
+// reject this with -Werror=thread-safety-analysis.
+int peek(const ShardState& s) { return s.inflight; }
+
+}  // namespace fixture

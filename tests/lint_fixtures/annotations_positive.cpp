@@ -1,0 +1,22 @@
+// Annotation fixture: must compile cleanly under Clang -Wthread-safety.
+// The mirror image of annotations_negative.cpp — the same guarded access,
+// but the shard capability is asserted first (the pattern every annotated
+// class in src/ uses at its public entry points).
+#include "core/annotations.hpp"
+
+namespace fixture {
+
+struct ShardState {
+  teco::core::ShardCapability shard;
+  int inflight TECO_GUARDED_BY(shard) = 0;
+};
+
+int peek(const ShardState& s) {
+  s.shard.assert_held();
+  return s.inflight;
+}
+
+int bump(ShardState& s) TECO_REQUIRES(s.shard);
+int bump(ShardState& s) { return ++s.inflight; }
+
+}  // namespace fixture

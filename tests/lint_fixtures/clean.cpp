@@ -1,0 +1,52 @@
+// teco-lint fixture: a file full of near-misses that must produce ZERO
+// findings. Each block sits just on the allowed side of a rule; if a rule
+// regresses into flagging one of these, tests/lint_test.cpp fails.
+// This file is lint fodder, never compiled into a target.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Stats {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  std::unordered_set<std::uint64_t> seen;
+  std::map<std::uint64_t, double> ordered;
+};
+
+// unordered-iter: commutative integer accumulation is order-insensitive
+// and therefore allowed over an unordered container.
+std::uint64_t total(const Stats& s) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : s.counts) sum += value;
+  return sum;
+}
+
+// unordered-iter: size/count/min/max style calls are on the allowlist.
+std::uint64_t widest(const Stats& s) {
+  std::uint64_t widest_key = 0;
+  for (const auto& key : s.seen) widest_key = std::max(widest_key, key);
+  return widest_key;
+}
+
+// fp-reduce: floating accumulation over an ORDERED container is fine; the
+// summation order is pinned by the key order.
+double ordered_sum(const Stats& s) {
+  double acc = 0;
+  for (const auto& [key, value] : s.ordered) acc += value;
+  return acc;
+}
+
+// wallclock: seeded, explicit-state randomness in the sim::Rng style.
+struct SeededRng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+// ptr-order: associative containers keyed on stable integer ids.
+std::map<std::uint64_t, int> by_line_index;
+std::unordered_map<std::uint64_t, int> by_tensor_id;
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// teco-lint fixture: planted fp-reduce hazards. Floating-point addition is
+// not associative, so an accumulation whose visit order is unspecified (or
+// a tagged reduce path without a pinned order) yields run-dependent sums.
+// teco-lint must flag lines 15 and 23 (tests/lint_test.cpp pins them).
+// This file is lint fodder, never compiled into a target.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+double gradient_norm(const std::unordered_map<std::uint64_t, double>& grads) {
+  double acc = 0;
+  // BUG: FP accumulation in hash order — the sum drifts between runs.
+  for (const auto& [id, g] : grads) acc += g * g;
+  return acc;
+}
+
+double loss_total(const std::vector<double>& losses, std::size_t stride) {
+  double acc = 0;
+  // Strided reduce path: order is data-layout-dependent, so it is tagged.
+  // teco-lint: reduce
+  for (std::size_t i = 0; i < losses.size(); i += stride) acc += losses[i];
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// teco-lint fixture: planted ptr-order hazards. Pointer values change
+// between runs (ASLR, allocation order), so ordering or hashing on them
+// makes any derived order or id nondeterministic. teco-lint must flag
+// lines 14 and 18 (tests/lint_test.cpp pins them).
+// This file is lint fodder, never compiled into a target.
+#include <cstdint>
+#include <set>
+
+namespace fixture {
+
+struct Tensor {};
+
+// BUG: iteration order of this set is the address order of the tensors.
+std::set<Tensor*> live_tensors;
+
+std::uint64_t tensor_id(const Tensor* t) {
+  // BUG: the "id" is an address; differs run to run.
+  return reinterpret_cast<std::uintptr_t>(t);
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// teco-lint fixture: planted unordered-iter hazard. The range-for below
+// feeds hash-table iteration order straight into event scheduling — the
+// exact bug class that breaks (time,seq) replay determinism. teco-lint
+// must flag line 20 (tests/lint_test.cpp pins the rule and line).
+// This file is lint fodder, never compiled into a target.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Engine {
+  void schedule_at(double when, std::uint64_t what);
+};
+
+struct Directory {
+  std::unordered_map<std::uint64_t, double> deadlines;
+
+  void schedule_all(Engine& eq) {
+    // BUG: events are enqueued in hash order; two runs interleave them
+    for (const auto& [line, when] : deadlines) {  // <- finding here
+      eq.schedule_at(when, line);
+    }
+  }
+};
+
+}  // namespace fixture

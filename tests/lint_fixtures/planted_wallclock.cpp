@@ -1,0 +1,22 @@
+// teco-lint fixture: planted wallclock hazards. Wall-clock reads and
+// unseeded entropy on simulation paths make replays non-reproducible.
+// teco-lint must flag lines 13 and 18 (tests/lint_test.cpp pins them).
+// This file is lint fodder, never compiled into a target.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double stamp_event() {
+  // BUG: host time leaks into a simulated timestamp.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+unsigned jitter() {
+  std::random_device entropy;  // BUG: unseeded, differs every run.
+  return entropy();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// teco-lint fixture: a planted hazard carrying an allow() suppression.
+// Must produce zero findings but exactly one counted suppression — the
+// mechanism scripts/lint.sh budgets in CI. Never compiled into a target.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sink {
+  void emit(std::uint64_t key, int value);
+};
+
+inline void dump(const std::unordered_map<std::uint64_t, int>& m, Sink& s) {
+  // Order genuinely does not matter to this sink; reviewed and waived.
+  // teco-lint: allow(unordered-iter)
+  for (const auto& [key, value] : m) s.emit(key, value);
+}
+
+}  // namespace fixture

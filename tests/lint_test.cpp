@@ -1,0 +1,286 @@
+// teco-lint tests: golden findings on the committed clean + planted
+// fixtures (one per rule), suppression accounting, the whole-src/ clean
+// gate, and regression tests for the two real determinism fixes the linter
+// surfaced (BackingStore::for_each_line visit order and
+// ProtocolChecker::verify_quiescent sweep order).
+//
+// The linter binary and fixture paths arrive via compile definitions from
+// tests/CMakeLists.txt (TECO_LINT_BIN, TECO_LINT_FIXTURES, TECO_LINT_SRC).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hpp"
+#include "coherence/home_agent.hpp"
+#include "core/annotations.hpp"
+#include "cxl/link.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "sim/rng.hpp"
+
+namespace teco {
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(TECO_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to spawn " << cmd;
+  LintRun r;
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(TECO_LINT_FIXTURES) + "/" + name;
+}
+
+// --- Golden fixture findings ----------------------------------------------
+
+TEST(TecoLint, ListRulesShowsTheWholeCatalogue) {
+  const LintRun r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"unordered-iter", "wallclock", "ptr-order", "fp-reduce"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+  EXPECT_NE(r.output.find("allow("), std::string::npos);
+}
+
+TEST(TecoLint, CleanFixtureHasNoFindings) {
+  const LintRun r = run_lint(fixture("clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("total                     0           0"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TecoLint, PlantedUnorderedIterIsCaughtAtThePlantedLine) {
+  const LintRun r = run_lint(fixture("planted_unordered_iter.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(
+      r.output.find("planted_unordered_iter.cpp:20: [unordered-iter]"),
+      std::string::npos)
+      << r.output;
+  // The finding names the container and the escaping call.
+  EXPECT_NE(r.output.find("'deadlines'"), std::string::npos);
+  EXPECT_NE(r.output.find("schedule_at"), std::string::npos);
+}
+
+TEST(TecoLint, PlantedWallclockIsCaughtAtBothPlantedLines) {
+  const LintRun r = run_lint(fixture("planted_wallclock.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("planted_wallclock.cpp:13: [wallclock]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("planted_wallclock.cpp:18: [wallclock]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TecoLint, PlantedPtrOrderIsCaughtAtBothPlantedLines) {
+  const LintRun r = run_lint(fixture("planted_ptr_order.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("planted_ptr_order.cpp:14: [ptr-order]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("planted_ptr_order.cpp:18: [ptr-order]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TecoLint, PlantedFpReduceIsCaughtInBothForms) {
+  const LintRun r = run_lint(fixture("planted_fp_reduce.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  // Hash-order accumulation and the tagged reduce loop.
+  EXPECT_NE(r.output.find("planted_fp_reduce.cpp:15: [fp-reduce]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("planted_fp_reduce.cpp:23: [fp-reduce]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("tagged reduce loop"), std::string::npos);
+}
+
+TEST(TecoLint, SuppressionIsCountedButDoesNotFail) {
+  const LintRun r = run_lint(fixture("suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("unordered-iter            0           1"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TecoLint, SuppressionBudgetIsEnforced) {
+  const LintRun r =
+      run_lint("--max-suppressions=0 " + fixture("suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("exceeds budget"), std::string::npos);
+}
+
+TEST(TecoLint, UnknownAllowRuleIsRejected) {
+  // A typo'd allow() must be an error, not a silent no-op suppression.
+  const std::string tmp = testing::TempDir() + "/bad_allow.cpp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("// teco-lint: allow(unordred-iter)\nint x;\n", f);
+  fclose(f);
+  const LintRun r = run_lint(tmp);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown rule"), std::string::npos);
+}
+
+// The headline gate: the committed tree carries zero unsuppressed findings.
+// If this fails, either fix the hazard or add a reviewed allow() comment
+// (and bump the budget in scripts/lint.sh).
+TEST(TecoLint, SourceTreeIsClean) {
+  const LintRun r = run_lint(std::string(TECO_LINT_SRC));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- Determinism regression: BackingStore::for_each_line ------------------
+// The linter flagged for_each_line's unordered iteration escaping into the
+// ft checkpoint path; the fix pins ascending address order. These tests
+// keep it pinned.
+
+std::string visit_trace(const mem::BackingStore& store) {
+  std::string t;
+  store.for_each_line([&](mem::Addr base, const mem::BackingStore::Line& l) {
+    t += std::to_string(base) + ":" + std::to_string(l[0]) + "|";
+  });
+  return t;
+}
+
+TEST(DeterminismFix, BackingStoreVisitsLinesInAscendingAddressOrder) {
+  mem::BackingStore store;
+  for (const std::uint64_t idx : {7u, 2u, 9u, 0u, 5u}) {
+    mem::BackingStore::Line line{};
+    line[0] = static_cast<std::uint8_t>(idx);
+    store.write_line(idx * mem::kLineBytes, line);
+  }
+  std::vector<mem::Addr> visited;
+  store.for_each_line(
+      [&](mem::Addr base, const mem::BackingStore::Line&) {
+        visited.push_back(base);
+      });
+  const std::vector<mem::Addr> want = {0 * mem::kLineBytes,
+                                       2 * mem::kLineBytes,
+                                       5 * mem::kLineBytes,
+                                       7 * mem::kLineBytes,
+                                       9 * mem::kLineBytes};
+  EXPECT_EQ(visited, want);
+}
+
+TEST(DeterminismFix, BackingStoreTraceIsSeededDoubleRunIdentical) {
+  // Two seeded runs writing the same pseudo-random working set must
+  // serialize identical traces — and so must a run inserting the same
+  // lines in a different order (hash-table layout must not show through).
+  auto build = [](std::uint64_t seed, bool reversed) {
+    sim::Rng rng(seed);
+    std::vector<std::uint64_t> indices;
+    indices.reserve(64);
+    for (int i = 0; i < 64; ++i) indices.push_back(rng.next_u64() % 512);
+    if (reversed) std::reverse(indices.begin(), indices.end());
+    mem::BackingStore store;
+    for (const std::uint64_t idx : indices) {
+      mem::BackingStore::Line line{};
+      line[0] = static_cast<std::uint8_t>(idx & 0xff);
+      store.write_line(idx * mem::kLineBytes, line);
+    }
+    return visit_trace(store);
+  };
+  const std::string a = build(42, false);
+  const std::string b = build(42, false);
+  const std::string c = build(42, true);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a.find(":"), std::string::npos);
+}
+
+// --- Determinism regression: ProtocolChecker::verify_quiescent ------------
+// The quiescent sweep used to walk the unordered line map directly, so
+// which violation was reported first depended on hash layout. The fix
+// sorts the sweep; the count-mode violation log must now be identical
+// regardless of the order in which state was planted.
+
+std::vector<std::string> quiescent_violations(
+    const std::vector<std::uint64_t>& plant_order) {
+  cxl::Link link;
+  coherence::GiantCache gc(1ull << 20);
+  mem::Cache cpu_cache(mem::llc_config());
+  gc.map_region("params", 0x1000, 64 * 16, coherence::MesiState::kExclusive,
+                /*dba_eligible=*/true);
+  coherence::HomeAgent::Options opts;
+  opts.protocol = coherence::Protocol::kUpdate;
+  coherence::HomeAgent agent(link, gc, cpu_cache, opts);
+  check::ProtocolChecker::Options copts;
+  copts.level = check::CheckLevel::kCount;
+  check::ProtocolChecker checker(agent, copts);
+  // Plant stale directory entries through the observer hook (the checker
+  // only tracks lines it has seen). Under the update protocol each one is
+  // a snoop-filter violation at quiescence; on_sharer_change itself only
+  // mirrors, so nothing is reported until the sweep.
+  const auto cpu_bit = static_cast<std::uint8_t>(coherence::Sharer::kCpu);
+  for (const std::uint64_t l : plant_order) {
+    checker.on_sharer_change(0x1000 + l * mem::kLineBytes, 0, cpu_bit);
+  }
+  const std::size_t before = checker.violations().size();
+  checker.verify_quiescent();
+  return {checker.violations().begin() +
+              static_cast<std::ptrdiff_t>(before),
+          checker.violations().end()};
+}
+
+TEST(DeterminismFix, QuiescentSweepReportsViolationsInAddressOrder) {
+  const auto a = quiescent_violations({3, 0, 2, 1});
+  const auto b = quiescent_violations({1, 2, 0, 3});
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a, b);  // Report order independent of plant order.
+  // And the order is ascending by line address.
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    EXPECT_LT(a[i].find("0x"), a[i].size());
+  }
+  std::vector<std::string> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(a, sorted);
+}
+
+// --- Annotations: positive compile + runtime no-op ------------------------
+// The negative (must-NOT-compile) direction lives in
+// tests/lint_fixtures/annotations_negative.cpp, run as a WILL_FAIL ctest
+// entry under Clang (tests/CMakeLists.txt); GCC builds compile the macros
+// to nothing, which this test locks in as harmless.
+
+TEST(Annotations, ShardCapabilityIsAZeroCostNoOpAtRuntime) {
+  core::ShardCapability shard;
+  shard.assert_held();
+  shard.enter();
+  shard.exit();
+  struct Guarded {
+    core::ShardCapability shard;
+    int counter TECO_SHARD_AFFINE(shard) = 0;
+    int bump() {
+      shard.assert_held();
+      return ++counter;
+    }
+  } g;
+  EXPECT_EQ(g.bump(), 1);
+  EXPECT_EQ(g.bump(), 2);
+}
+
+}  // namespace
+}  // namespace teco
