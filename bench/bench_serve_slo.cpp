@@ -1,0 +1,212 @@
+// Multi-tenant LLM inference serving: SLO attainment vs offered load
+// (teco::serve).
+//
+// The ROADMAP's "millions of users" workload made concrete: an open-loop
+// Poisson arrival process drives continuous-batching inference over the
+// simulated CXL domain, with every session's KV-cache paging between HBM
+// and CXL DRAM on the same link the write-through coherence stream rides.
+// The sweep crosses offered load (requests/second) x HBM KV budget x tier
+// policy and reports p50/p99/p999 time-to-first-token, inter-token
+// latency, SLO attainment and goodput per cell.
+//
+// The headline: with the KV working set over budget, the offload design
+// the paper argues for — a write-through mirror in CXL DRAM (evictions
+// become free clean-copy drops, DBA-style update pushes keep the far copy
+// current) plus lookahead paging (min_stall / knapsack) — holds SLO
+// attainment where the baseline collapses. The naive_swap strawman models
+// the conventional design: no mirror, so every eviction is a dirty
+// write-back stalled on the critical path, and every fetch is an exposed
+// demand miss. Same wire, same arrival trace.
+//
+// Flags / environment:
+//   TECO_SMOKE=1    shrink the sweep for CI smoke runs.
+//   TECO_BENCH_DIR  where BENCH_serve_slo.json lands (default: cwd).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "obs/bench_report.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serve.hpp"
+#include "tier/placement_planner.hpp"
+
+namespace {
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+struct Sweep {
+  std::vector<double> rates_rps;
+  std::vector<std::uint64_t> hbm_budgets;
+  std::vector<teco::tier::Policy> policies;
+  std::size_t n_requests = 0;
+};
+
+Sweep make_sweep(bool smoke) {
+  using teco::tier::Policy;
+  if (smoke) {
+    return {{56.0}, {512 * kMiB}, {Policy::kNaiveSwap, Policy::kMinStall},
+            60};
+  }
+  // 24 rps: light load, everything fits. 56 rps: the knee — the KV working
+  // set crosses the small budget and the baseline's swap stalls compound
+  // into queueing collapse while planned paging still keeps up. 96 rps:
+  // deep overload, where the planned policies degrade gracefully (higher
+  // goodput, lower tails) instead of falling off the same cliff.
+  return {{24.0, 56.0, 96.0},
+          {512 * kMiB, 4096 * kMiB},
+          {Policy::kNaiveSwap, Policy::kMinStall, Policy::kKnapsack},
+          400};
+}
+
+std::string fmt_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", seconds * 1e3);
+  return buf;
+}
+
+std::string fmt_pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace teco;
+  const char* smoke_env = std::getenv("TECO_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+  const Sweep sweep = make_sweep(smoke);
+
+  core::TextTable t(
+      "LLM serving SLO sweep (GPT-2 proxy, Poisson arrivals, TTFT SLO "
+      "250 ms, continuous batching, KV offload over CXL)");
+  t.set_header({"rate", "HBM KV", "policy", "adm/off", "TTFT p50", "p99",
+                "p999", "TPOT p50", "p99", "SLO", "goodput", "paged",
+                "stall"});
+
+  // Headline trackers: at the smallest budget, find the rate where planned
+  // paging gains the most SLO over the strawman (the knee of the load
+  // curve — below it everything fits, far above it everything is
+  // overloaded).
+  double naive_slo = -1.0;
+  double best_planned_slo = -1.0;
+  double headline_gain = 0.0;
+  double headline_rate = 0.0;
+  for (const double rate : sweep.rates_rps) {
+    double cell_naive = -1.0;
+    double cell_planned = -1.0;
+    for (const std::uint64_t hbm : sweep.hbm_budgets) {
+      for (const tier::Policy pol : sweep.policies) {
+        serve::ServeConfig cfg;
+        cfg.arrival = serve::ArrivalKind::kPoisson;
+        cfg.rate_rps = rate;
+        cfg.n_requests = sweep.n_requests;
+        cfg.seed = 20;  // Same arrival trace for every cell at this rate.
+        cfg.max_sessions = 48;
+        cfg.max_batch = 16;
+        cfg.hbm_kv_bytes = hbm;
+        cfg.policy = pol;
+        // The strawman is the conventional stack: no write-through mirror,
+        // so evictions are synchronous dirty write-backs. The planned
+        // policies get the paper's offload design (mirror + lookahead).
+        cfg.kv_writethrough = pol != tier::Policy::kNaiveSwap;
+        serve::ServeScheduler sched(cfg);
+        const serve::ServeReport r = sched.run();
+
+        if (hbm == sweep.hbm_budgets.front()) {
+          if (pol == tier::Policy::kNaiveSwap) {
+            cell_naive = r.slo_attainment();
+          } else if (r.slo_attainment() > cell_planned) {
+            cell_planned = r.slo_attainment();
+          }
+        }
+
+        char goodput[32];
+        std::snprintf(goodput, sizeof goodput, "%.1f/s", r.goodput_rps());
+        t.add_row({std::to_string(static_cast<int>(rate)) + "/s",
+                   std::to_string(hbm / kMiB) + " MiB",
+                   std::string(tier::to_string(pol)),
+                   std::to_string(r.admitted) + "/" +
+                       std::to_string(r.offered),
+                   fmt_ms(r.ttft.p50), fmt_ms(r.ttft.p99),
+                   fmt_ms(r.ttft.p999), fmt_ms(r.tpot.p50),
+                   fmt_ms(r.tpot.p99), fmt_pct(r.slo_attainment()),
+                   goodput,
+                   core::TextTable::mib(
+                       static_cast<double>(r.kv_pagein_bytes)),
+                   fmt_ms(r.kv_stall)});
+      }
+    }
+    if (cell_naive >= 0.0 && cell_planned >= 0.0 &&
+        cell_planned - cell_naive >= headline_gain) {
+      headline_gain = cell_planned - cell_naive;
+      headline_rate = rate;
+      naive_slo = cell_naive;
+      best_planned_slo = cell_planned;
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  if (naive_slo >= 0.0 && best_planned_slo >= 0.0) {
+    std::printf(
+        "-> Knee of the load curve (%d rps, %llu MiB KV budget): planned "
+        "paging attains %.1f%% SLO vs %.1f%% for naive demand swapping "
+        "(+%.1f pts).\n\n",
+        static_cast<int>(headline_rate),
+        static_cast<unsigned long long>(sweep.hbm_budgets.front() / kMiB),
+        best_planned_slo * 100.0, naive_slo * 100.0, headline_gain * 100.0);
+  }
+
+  // Detailed run for the canonical report: min_stall under pressure, with
+  // the full registry dumped so serve.* sits next to the cxl.*/coherence.*
+  // counters of the same wire (the acceptance criterion's shared-channel
+  // evidence).
+  serve::ServeConfig cfg;
+  cfg.rate_rps = headline_rate > 0.0 ? headline_rate : sweep.rates_rps.back();
+  cfg.n_requests = sweep.n_requests;
+  cfg.seed = 20;
+  cfg.max_sessions = 48;
+  cfg.max_batch = 16;
+  cfg.hbm_kv_bytes = sweep.hbm_budgets.front();
+  cfg.policy = tier::Policy::kMinStall;
+  obs::MetricsRegistry reg;
+  serve::ServeScheduler sched(cfg, &reg);
+  const serve::ServeReport r = sched.run();
+
+  const bool shared_wire = reg.value("serve.kv.pagein_bytes") > 0.0 &&
+                           reg.value("cxl.down.bytes") > 0.0 &&
+                           reg.value("cxl.up.bytes") > 0.0 &&
+                           reg.value("serve.tokens") > 0.0;
+  std::printf("Shared-wire check (serve.* and cxl.* nonzero in one run): "
+              "%s\n",
+              shared_wire ? "ok" : "FAILED");
+
+  obs::BenchReport report("serve_slo");
+  report.set_config("model", "gpt2");
+  report.set_config("arrival", "poisson");
+  report.set_config("rate_rps", cfg.rate_rps);
+  report.set_config("n_requests", static_cast<double>(cfg.n_requests));
+  report.set_config("hbm_kv_mib",
+                    static_cast<double>(cfg.hbm_kv_bytes) / kMiB);
+  report.set_config("policy", std::string(tier::to_string(cfg.policy)));
+  report.set_config("max_batch", static_cast<double>(cfg.max_batch));
+  report.set_config("slo_ttft_ms", cfg.slo_ttft * 1e3);
+  report.set_headline("slo_attainment_pct", r.slo_attainment() * 100.0);
+  report.set_headline("slo_gain_vs_naive_pts", headline_gain * 100.0);
+  report.set_headline("ttft_p50_ms", r.ttft.p50 * 1e3);
+  report.set_headline("ttft_p99_ms", r.ttft.p99 * 1e3);
+  report.set_headline("ttft_p999_ms", r.ttft.p999 * 1e3);
+  report.set_headline("tpot_p50_ms", r.tpot.p50 * 1e3);
+  report.set_headline("tpot_p99_ms", r.tpot.p99 * 1e3);
+  report.set_headline("goodput_rps", r.goodput_rps());
+  report.set_headline("kv_pagein_mib",
+                      static_cast<double>(r.kv_pagein_bytes) / kMiB);
+  report.attach_registry(&reg);
+  const std::string written = report.write();
+  if (!written.empty()) {
+    std::printf("Bench report written to %s\n", written.c_str());
+  }
+  return shared_wire ? 0 : 1;
+}

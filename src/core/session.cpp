@@ -44,6 +44,20 @@ tier::PlannerConfig tier_planner_config(const SessionConfig& cfg) {
   return p;
 }
 
+serve::ServeConfig serve_config(const SessionConfig& cfg) {
+  serve::ServeConfig s;
+  s.arrival = cfg.serve_arrival;
+  s.rate_rps = cfg.serve_rate;
+  s.slo_ttft = sim::ms(cfg.serve_slo_ms);
+  s.max_sessions = cfg.serve_sessions;
+  // The KV tier shares the session's tiering knobs: one config file
+  // describes both the training and the serving timeline.
+  s.policy = cfg.tier_policy;
+  s.prefetch_depth = cfg.tier_prefetch_depth;
+  s.hbm_kv_bytes = cfg.tier_hbm_bytes;
+  return s;
+}
+
 Session::Session(SessionConfig cfg)
     : cfg_(cfg), trace_(cfg.enable_trace),
       link_(std::make_unique<cxl::Link>(cfg.phy)),

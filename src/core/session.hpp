@@ -37,6 +37,7 @@
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/span.hpp"
+#include "serve/serve.hpp"
 #include "sim/trace.hpp"
 #include "tier/placement_planner.hpp"
 
@@ -97,6 +98,17 @@ struct SessionConfig {
   /// Compute slots of lookahead the migration scheduler may prefetch.
   std::size_t tier_prefetch_depth = 2;
 
+  // --- Inference serving (teco::serve) ---
+  /// Arrival-process shape for the serving runtime (poisson/bursty/trace).
+  serve::ArrivalKind serve_arrival = serve::ArrivalKind::kPoisson;
+  /// Offered load in requests per second.
+  double serve_rate = 32.0;
+  /// Time-to-first-token SLO in milliseconds (the per-token budget derives
+  /// from it; see serve::ServeConfig::effective_slo_tpot).
+  double serve_slo_ms = 250.0;
+  /// Admission capacity: concurrent sessions beyond this are rejected.
+  std::size_t serve_sessions = 1024;
+
   // --- Telemetry (teco::obs) ---
   /// When non-empty, one JSONL line of registry deltas per training step.
   std::string obs_jsonl_path;
@@ -110,6 +122,11 @@ struct SessionConfig {
 /// The tier::PlannerConfig a session's knobs describe (the giant-cache
 /// share reuses giant_cache_capacity).
 tier::PlannerConfig tier_planner_config(const SessionConfig& cfg);
+
+/// The serve::ServeConfig a session's knobs describe: the serve_* keys map
+/// directly, and the KV tiering reuses the session's tier_policy /
+/// tier_prefetch_depth so one config file drives both timelines.
+serve::ServeConfig serve_config(const SessionConfig& cfg);
 
 class Session {
  public:

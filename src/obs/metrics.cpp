@@ -130,6 +130,8 @@ std::vector<Sample> MetricsRegistry::samples() const {
                        MetricKind::kHistogram, false});
         out.push_back({name + ".p99", h.quantile(0.99),
                        MetricKind::kHistogram, false});
+        out.push_back({name + ".p999", h.quantile(0.999),
+                       MetricKind::kHistogram, false});
         out.push_back({name + ".max", st.max(), MetricKind::kHistogram,
                        false});
         break;

@@ -110,7 +110,8 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 std::string_view to_string(MetricKind k);
 
 /// One exported scalar. Histograms expand into several samples
-/// (name.count, name.mean, name.p50, name.p95, name.p99, name.max);
+/// (name.count, name.sum, name.mean, name.p50, name.p95, name.p99,
+/// name.p999, name.max);
 /// their kind marks which samples are monotone (deltas are meaningful)
 /// versus instantaneous.
 struct Sample {

@@ -91,6 +91,22 @@ class Rng {
     return -mean * std::log(1.0 - next_double());
   }
 
+  /// Interarrival gap of a Poisson process at `rate` events per unit time
+  /// (requests/second for the serving arrival process). rate must be > 0.
+  /// Identical to next_exponential(1 / rate); spelled out so arrival code
+  /// reads in the units the workload is configured in.
+  double next_interarrival(double rate) {
+    return next_exponential(1.0 / rate);
+  }
+
+  /// Lognormal with the given median and log-space sigma: exp(N(ln median,
+  /// sigma^2)). The standard heavy-tailed model for request/token-length
+  /// distributions in serving workloads; median (not mean) parameterization
+  /// keeps config values interpretable.
+  double next_lognormal(double median, double sigma) {
+    return median * std::exp(sigma * next_gaussian());
+  }
+
   /// Binomial(n, p) sample. Exact Bernoulli counting for small n; for large
   /// n it switches to the Poisson (small p) or Gaussian approximation, both
   /// fully deterministic under this generator. Used by the Monte-Carlo

@@ -23,6 +23,45 @@ std::optional<Policy> policy_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+void order_victims(Policy p, std::vector<VictimCandidate>& v) {
+  switch (p) {
+    case Policy::kAllHbm:
+    case Policy::kNaiveSwap:
+      // No cost model: deterministic id order (oldest session first).
+      std::sort(v.begin(), v.end(),
+                [](const VictimCandidate& a, const VictimCandidate& b) {
+                  return a.id < b.id;
+                });
+      return;
+    case Policy::kMinStall:
+      // Belady approximation: the candidate needed furthest in the future
+      // gives the prefetcher the longest window to hide the re-fetch.
+      std::sort(v.begin(), v.end(),
+                [](const VictimCandidate& a, const VictimCandidate& b) {
+                  if (a.next_use_gap != b.next_use_gap) {
+                    return a.next_use_gap > b.next_use_gap;
+                  }
+                  if (a.idle != b.idle) return a.idle > b.idle;
+                  return a.id < b.id;
+                });
+      return;
+    case Policy::kKnapsack:
+      // Byte-seconds density: evicting cold-and-large owners buys the most
+      // budget headroom per unit of expected re-fetch pain.
+      std::sort(v.begin(), v.end(),
+                [](const VictimCandidate& a, const VictimCandidate& b) {
+                  const double sa = static_cast<double>(a.bytes) *
+                                    (a.idle + a.next_use_gap);
+                  const double sb = static_cast<double>(b.bytes) *
+                                    (b.idle + b.next_use_gap);
+                  if (sa != sb) return sa > sb;
+                  return a.id < b.id;
+                });
+      return;
+  }
+  __builtin_unreachable();
+}
+
 std::string_view to_string(Tier t) {
   switch (t) {
     case Tier::kHbm: return "HBM";

@@ -42,6 +42,25 @@ std::string_view to_string(Policy p);
 /// knapsack); nullopt for anything else.
 std::optional<Policy> policy_from_string(std::string_view s);
 
+/// One eviction candidate for runtime (non-planned) victim selection.
+/// The serving runtime builds these from HBM-resident KV sessions each time
+/// the budget is exceeded; unlike the ahead-of-time TierPlan, candidates
+/// carry *observed* recency and a scheduler-provided next-use estimate.
+struct VictimCandidate {
+  std::uint64_t id = 0;          ///< Owner id (session, tensor, ...).
+  std::uint64_t bytes = 0;       ///< HBM bytes freed by evicting it.
+  sim::Time idle = 0.0;          ///< Time since the owner last ran.
+  sim::Time next_use_gap = 0.0;  ///< Estimated time until it runs again.
+};
+
+/// Sort candidates best-victim-first under the policy's selection logic:
+/// kMinStall approximates Belady (evict whatever is needed furthest in the
+/// future, so the re-fetch has the longest overlap window), kKnapsack
+/// scores byte-seconds (cold-and-large first, the 10Cache density rule),
+/// and the strawmen fall back to id order. Ties always break by id, so the
+/// ordering is a deterministic total order.
+void order_victims(Policy p, std::vector<VictimCandidate>& v);
+
 struct PlannerConfig {
   Policy policy = Policy::kMinStall;
   std::uint64_t hbm_bytes = 16ull << 30;

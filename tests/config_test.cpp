@@ -167,6 +167,55 @@ TEST(ConfigParser, RoundTripsThroughSerializer) {
             std::string::npos);
 }
 
+TEST(ConfigParser, ServeKeysParseAndRoundTrip) {
+  const auto parsed = core::parse_config(
+      "serve_arrival  = bursty\n"
+      "serve_rate     = 12.5\n"
+      "serve_slo_ms   = 100\n"
+      "serve_sessions = 64\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.unknown_keys.empty());
+  EXPECT_EQ(parsed.session.serve_arrival, serve::ArrivalKind::kBursty);
+  EXPECT_DOUBLE_EQ(parsed.session.serve_rate, 12.5);
+  EXPECT_DOUBLE_EQ(parsed.session.serve_slo_ms, 100.0);
+  EXPECT_EQ(parsed.session.serve_sessions, 64u);
+
+  const auto again = core::parse_config(core::to_config_text(parsed.session));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.session.serve_arrival, serve::ArrivalKind::kBursty);
+  EXPECT_DOUBLE_EQ(again.session.serve_rate, 12.5);
+  EXPECT_DOUBLE_EQ(again.session.serve_slo_ms, 100.0);
+  EXPECT_EQ(again.session.serve_sessions, 64u);
+}
+
+TEST(ConfigParser, ServeKeysRejectMalformedValues) {
+  EXPECT_FALSE(core::parse_config("serve_arrival = uniform").ok());
+  EXPECT_FALSE(core::parse_config("serve_rate = 0").ok());
+  EXPECT_FALSE(core::parse_config("serve_rate = fast").ok());
+  EXPECT_FALSE(core::parse_config("serve_slo_ms = -3").ok());
+  EXPECT_FALSE(core::parse_config("serve_sessions = 0").ok());
+  EXPECT_TRUE(core::parse_config("serve_rate = 0.5").ok());
+}
+
+TEST(ConfigParser, ServeConfigMapsSessionKnobs) {
+  core::SessionConfig cfg;
+  cfg.serve_arrival = serve::ArrivalKind::kTrace;
+  cfg.serve_rate = 96.0;
+  cfg.serve_slo_ms = 120.0;
+  cfg.serve_sessions = 48;
+  cfg.tier_policy = tier::Policy::kKnapsack;
+  cfg.tier_prefetch_depth = 3;
+  cfg.tier_hbm_bytes = 2ull << 30;
+  const serve::ServeConfig s = core::serve_config(cfg);
+  EXPECT_EQ(s.arrival, serve::ArrivalKind::kTrace);
+  EXPECT_DOUBLE_EQ(s.rate_rps, 96.0);
+  EXPECT_DOUBLE_EQ(s.slo_ttft, sim::ms(120.0));
+  EXPECT_EQ(s.max_sessions, 48u);
+  EXPECT_EQ(s.policy, tier::Policy::kKnapsack);
+  EXPECT_EQ(s.prefetch_depth, 3u);
+  EXPECT_EQ(s.hbm_kv_bytes, 2ull << 30);
+}
+
 TEST(ConfigParser, MissingFileIsReported) {
   const auto parsed = core::load_config_file("/nonexistent/teco.cfg");
   ASSERT_FALSE(parsed.ok());
