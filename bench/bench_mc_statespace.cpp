@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "mc/fabric_driver.hpp"
 #include "mc/model_checker.hpp"
 #include "obs/bench_report.hpp"
 
@@ -106,6 +107,23 @@ int main() {
     report.set_headline(std::string(s.name) + "_states",
                         static_cast<double>(r.states));
   }
+  // The pooled-fabric all-reduce slice (mc/fabric_driver.hpp): the same
+  // exhaustive gate over the 2-node x 1-pool-line fabric domain.
+  {
+    const mc::FabricMcResult fr = mc::fabric_model_check(mc::FabricMcConfig{});
+    const bool ok = fr.ok() && !fr.truncated;
+    all_ok = all_ok && ok;
+    total_states += fr.states;
+    total_edges += fr.edges;
+    t.add_row({"fabric_2n1l", std::to_string(fr.states),
+               std::to_string(fr.edges), std::to_string(fr.deduped),
+               std::to_string(fr.max_depth), core::TextTable::ms(0.0),
+               ok ? "exhaustive, ok" : "FAIL"});
+    if (!ok) std::fprintf(stderr, "FAIL fabric_2n1l: %s\n",
+                          fr.summary().c_str());
+    report.set_headline("fabric_2n1l_states",
+                        static_cast<double>(fr.states));
+  }
   std::fputs(t.to_string().c_str(), stdout);
 
   report.set_headline("total_states", static_cast<double>(total_states));
@@ -120,6 +138,6 @@ int main() {
   std::printf(
       "-> %zu states / %zu edges across %zu sweeps, all exhaustive with "
       "zero invariant violations (%.2f s).\n",
-      total_states, total_edges, sweeps().size(), total_wall);
+      total_states, total_edges, sweeps().size() + 1, total_wall);
   return 0;
 }

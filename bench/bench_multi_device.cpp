@@ -72,6 +72,22 @@ int main() {
   }
   std::fputs(t2.to_string().c_str(), stdout);
   std::puts("Link contention behind a shared switch amplifies the "
-            "communication bottleneck -> TECO's relative win grows again.");
+            "communication bottleneck -> TECO's relative win grows again.\n");
+
+  // The per-link gradient exchange in isolation (offload::per_link_reduce).
+  // bench_fabric_allreduce charges exactly these numbers as its no-pool
+  // per_link baseline arm, so the two benches quote the same closed form.
+  core::TextTable t3("Per-link gradient exchange, Bert-large, shared "
+                     "upstream (bench_fabric_allreduce baseline arm)");
+  t3.set_header({"devices", "ship", "CPU reduce", "broadcast", "total"});
+  const std::uint64_t grad_bytes = dl::bert_large_cased().gradient_bytes();
+  for (const std::uint32_t d : device_counts) {
+    const auto p = offload::per_link_reduce(d, grad_bytes, cal, true);
+    t3.add_row({std::to_string(d), core::TextTable::ms(p.ship),
+                core::TextTable::ms(p.reduce),
+                core::TextTable::ms(p.broadcast),
+                core::TextTable::ms(p.total())});
+  }
+  std::fputs(t3.to_string().c_str(), stdout);
   return 0;
 }

@@ -199,6 +199,33 @@ ParsedConfig parse_config(std::string_view text) {
       } else {
         fail("serve_sessions must be a positive integer");
       }
+    } else if (key == "fabric_nodes") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v >= 1 && v <= 64) {
+        out.session.fabric_nodes = static_cast<std::uint32_t>(v);
+      } else {
+        fail("fabric_nodes must be in [1, 64]");
+      }
+    } else if (key == "fabric_pool_bytes") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v > 0) {
+        out.session.fabric_pool_bytes = v;
+      } else {
+        fail("fabric_pool_bytes must be a positive integer");
+      }
+    } else if (key == "fabric_port_gbps") {
+      double v = 0.0;
+      if (parse_f64(value, &v) && v > 0.0) {
+        out.session.fabric_port_gbps = v;
+      } else {
+        fail("fabric_port_gbps must be a positive number (GB/s)");
+      }
+    } else if (key == "fabric_reduce") {
+      if (const auto s = fabric::reduce_from_string(value)) {
+        out.session.fabric_reduce = *s;
+      } else {
+        fail("fabric_reduce must be dba_merge/pool_staging/per_link");
+      }
     } else if (key == "obs_jsonl_path") {
       out.session.obs_jsonl_path = std::string(value);
     } else if (key == "obs_trace_path") {
@@ -249,6 +276,10 @@ std::string to_config_text(const SessionConfig& cfg) {
   os << "serve_rate = " << cfg.serve_rate << "\n";
   os << "serve_slo_ms = " << cfg.serve_slo_ms << "\n";
   os << "serve_sessions = " << cfg.serve_sessions << "\n";
+  os << "fabric_nodes = " << cfg.fabric_nodes << "\n";
+  os << "fabric_pool_bytes = " << cfg.fabric_pool_bytes << "\n";
+  os << "fabric_port_gbps = " << cfg.fabric_port_gbps << "\n";
+  os << "fabric_reduce = " << fabric::to_string(cfg.fabric_reduce) << "\n";
   // Empty path values round-trip as absent lines: the parser treats a
   // missing key as the default, and "key =" would read back as "".
   if (!cfg.obs_jsonl_path.empty()) {

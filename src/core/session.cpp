@@ -58,6 +58,21 @@ serve::ServeConfig serve_config(const SessionConfig& cfg) {
   return s;
 }
 
+fabric::FabricConfig fabric_config(const SessionConfig& cfg) {
+  fabric::FabricConfig f;
+  f.nodes = cfg.fabric_nodes;
+  f.pool_bytes = cfg.fabric_pool_bytes;
+  f.port_gbps = cfg.fabric_port_gbps;
+  f.reduce = cfg.fabric_reduce;
+  // Node links, DBA posture, and checking ride the session's knobs so one
+  // config file describes the single-node and the pooled timeline.
+  f.node_phy = cfg.phy;
+  f.dba_enabled = cfg.dba_enabled;
+  f.dirty_bytes = cfg.dirty_bytes;
+  f.check = cfg.check != check::CheckLevel::kOff;
+  return f;
+}
+
 Session::Session(SessionConfig cfg)
     : cfg_(cfg), trace_(cfg.enable_trace),
       link_(std::make_unique<cxl::Link>(cfg.phy)),

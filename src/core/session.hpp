@@ -29,6 +29,7 @@
 
 #include "check/protocol_checker.hpp"
 #include "coherence/giant_cache.hpp"
+#include "fabric/fabric.hpp"
 #include "coherence/home_agent.hpp"
 #include "cxl/link.hpp"
 #include "mc/hb_analyzer.hpp"
@@ -109,6 +110,16 @@ struct SessionConfig {
   /// Admission capacity: concurrent sessions beyond this are rejected.
   std::size_t serve_sessions = 1024;
 
+  // --- Pooled fabric (teco::fabric) ---
+  /// Data-parallel nodes sharing the pooled-memory switch.
+  std::uint32_t fabric_nodes = 2;
+  /// DCD-carveable pooled-memory capacity behind the switch.
+  std::uint64_t fabric_pool_bytes = 8ull << 20;
+  /// Shared pool-port bandwidth per direction, GB/s.
+  double fabric_port_gbps = 16.0;
+  /// In-pool all-reduce strategy (dba_merge / pool_staging / per_link).
+  fabric::ReduceStrategy fabric_reduce = fabric::ReduceStrategy::kDbaMerge;
+
   // --- Telemetry (teco::obs) ---
   /// When non-empty, one JSONL line of registry deltas per training step.
   std::string obs_jsonl_path;
@@ -127,6 +138,11 @@ tier::PlannerConfig tier_planner_config(const SessionConfig& cfg);
 /// directly, and the KV tiering reuses the session's tier_policy /
 /// tier_prefetch_depth so one config file drives both timelines.
 serve::ServeConfig serve_config(const SessionConfig& cfg);
+
+/// The fabric::FabricConfig a session's knobs describe: the fabric_* keys
+/// map directly; the node links reuse the session's PHY, DBA posture, and
+/// checking level so one config file drives single-node and pooled runs.
+fabric::FabricConfig fabric_config(const SessionConfig& cfg);
 
 class Session {
  public:

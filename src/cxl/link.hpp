@@ -36,6 +36,24 @@ class LinkFaultHook {
                                    const Packet& pkt, std::uint64_t count) = 0;
 };
 
+/// Egress forwarder: the switch attach point for pooled-fabric topologies
+/// (fabric::CxlSwitch). When attached, every packet that finishes on this
+/// link's private wire is handed to the forwarder, which extends the
+/// delivery through its next hop (a shared pool port) and returns the
+/// end-to-end timing. CXLFENCE() on a forwarded link covers the forwarder's
+/// drain too, so fence completeness holds across the whole path. The
+/// forwarder must outlive the link or be detached first.
+class LinkForwarder {
+ public:
+  virtual ~LinkForwarder() = default;
+  /// `local` is the delivery on this link's private wire; the packet enters
+  /// the next hop at local.finished. Returns the extended delivery.
+  virtual Delivery forward(Direction dir, const Packet& pkt, std::uint64_t n,
+                           const Delivery& local) = 0;
+  /// Earliest time everything forwarded so far in `dir` has been delivered.
+  virtual sim::Time forward_drain(Direction dir) const = 0;
+};
+
 class Link {
  public:
   explicit Link(const PhyConfig& phy = {}, std::size_t queue_capacity = 128)
@@ -48,7 +66,8 @@ class Link {
   Delivery send(Direction dir, sim::Time t_ready, const Packet& pkt) {
     count(pkt, 1);
     const std::uint64_t retried0 = channel(dir).stats().retried_flits;
-    const Delivery d = channel(dir).submit(faulted(dir, t_ready, pkt, 1), pkt);
+    Delivery d = channel(dir).submit(faulted(dir, t_ready, pkt, 1), pkt);
+    if (forwarder_ != nullptr) d = forwarder_->forward(dir, pkt, 1, d);
     record(dir, pkt, 1, channel(dir).stats().retried_flits - retried0);
     notify(dir, t_ready, pkt, 1, d);
     return d;
@@ -58,17 +77,23 @@ class Link {
                        std::uint64_t n) {
     count(pkt, n);
     const std::uint64_t retried0 = channel(dir).stats().retried_flits;
-    const Delivery d =
+    Delivery d =
         channel(dir).submit_stream(faulted(dir, t_ready, pkt, n), pkt, n);
+    if (forwarder_ != nullptr) d = forwarder_->forward(dir, pkt, n, d);
     record(dir, pkt, n, channel(dir).stats().retried_flits - retried0);
     notify(dir, t_ready, pkt, n, d);
     return d;
   }
 
   /// CXLFENCE(): completion time of all in-flight traffic in `dir`,
-  /// observed at `now`.
+  /// observed at `now`. With a forwarder attached, covers the forwarded
+  /// hop's drain too — the fence is end-to-end.
   sim::Time fence(Direction dir, sim::Time now) const {
-    const sim::Time drain = channel(dir).drain_time();
+    sim::Time drain = channel(dir).drain_time();
+    if (forwarder_ != nullptr) {
+      const sim::Time f = forwarder_->forward_drain(dir);
+      if (f > drain) drain = f;
+    }
     const sim::Time t = drain > now ? drain : now;
     if (observer_ != nullptr) {
       observer_->on_fence(static_cast<std::uint8_t>(dir), now, t);
@@ -110,6 +135,11 @@ class Link {
   /// Attach/detach a fault-injection hook (nullptr to detach). Consulted on
   /// every send; see LinkFaultHook.
   void set_fault_hook(LinkFaultHook* hook) { fault_hook_ = hook; }
+
+  /// Attach/detach an egress forwarder (nullptr to detach); see
+  /// LinkForwarder. Attach before traffic starts: deliveries returned to
+  /// producers and reported to the observer are end-to-end once attached.
+  void set_forwarder(LinkForwarder* fwd) { forwarder_ = fwd; }
 
   /// Attach/detach a telemetry registry (nullptr to detach). Handles are
   /// resolved once here; per-send recording is a pointer check plus a few
@@ -278,6 +308,7 @@ class Link {
   Channel up_;
   check::Observer* observer_ = nullptr;
   LinkFaultHook* fault_hook_ = nullptr;
+  LinkForwarder* forwarder_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   DirMetrics dir_metrics_[2];  ///< [0]=down/m2s, [1]=up/s2m.
   FlitCodec codec_;

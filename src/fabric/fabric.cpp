@@ -1,0 +1,21 @@
+#include "fabric/fabric.hpp"
+
+namespace teco::fabric {
+
+std::string_view to_string(ReduceStrategy s) {
+  switch (s) {
+    case ReduceStrategy::kDbaMerge: return "dba_merge";
+    case ReduceStrategy::kPoolStaging: return "pool_staging";
+    case ReduceStrategy::kPerLink: return "per_link";
+  }
+  return "?";
+}
+
+std::optional<ReduceStrategy> reduce_from_string(std::string_view s) {
+  if (s == "dba_merge") return ReduceStrategy::kDbaMerge;
+  if (s == "pool_staging") return ReduceStrategy::kPoolStaging;
+  if (s == "per_link") return ReduceStrategy::kPerLink;
+  return std::nullopt;
+}
+
+}  // namespace teco::fabric

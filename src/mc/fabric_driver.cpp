@@ -1,0 +1,325 @@
+#include "mc/fabric_driver.hpp"
+
+#include <cstring>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "check/protocol_checker.hpp"
+#include "mem/cache.hpp"
+
+namespace teco::mc {
+
+namespace {
+
+fabric::FabricConfig slice_config() {
+  fabric::FabricConfig f;
+  f.nodes = FabricDriver::kNodes;
+  f.shard_bytes = mem::kLineBytes;  // one pool line per shard
+  f.pool_bytes = 4096;
+  // Full-precision broadcasts: the oracle is exact, so the DBA trim knob
+  // is exercised by tests/benches, not the state sweep.
+  f.dba_enabled = false;
+  f.check = true;
+  // A rebuild per explored edge: the 16 MB LLC would dominate, the 8 KB
+  // L1 geometry will not.
+  f.pool_cache = mem::l1_config();
+  return f;
+}
+
+void append_f32(std::string& s, float v) {
+  char b[sizeof v];
+  std::memcpy(b, &v, sizeof v);
+  s.append(b, sizeof v);
+}
+
+}  // namespace
+
+std::string_view to_string(FabricMutation m) {
+  switch (m) {
+    case FabricMutation::kNone: return "none";
+    case FabricMutation::kDroppedFlit: return "dropped_flit";
+    case FabricMutation::kDoubleFold: return "double_fold";
+  }
+  __builtin_unreachable();
+}
+
+std::string to_string(const FabricAction& a) {
+  switch (a.kind) {
+    case FabricAction::Kind::kPush:
+      return "push(" + std::to_string(a.node) + ")";
+    case FabricAction::Kind::kFold:
+      return "fold(" + std::to_string(a.node) + ")";
+    case FabricAction::Kind::kCommit: return "commit";
+    case FabricAction::Kind::kBroadcast:
+      return "broadcast(" + std::to_string(a.node) + ")";
+    case FabricAction::Kind::kFence: return "fence";
+    case FabricAction::Kind::kMutate: return "mutate";
+  }
+  __builtin_unreachable();
+}
+
+FabricDriver::FabricDriver(const FabricMcConfig& cfg)
+    : cfg_(cfg),
+      fcfg_(slice_config()),
+      pool_(fcfg_.pool_bytes, fcfg_.pool_base),
+      switch_(fcfg_) {
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    contributions_.push_back(
+        *pool_.try_carve("grad#" + std::to_string(n), n, fcfg_.shard_bytes));
+  }
+  result_ = *pool_.try_carve("reduced", fabric::kSharedOwner,
+                             fcfg_.shard_bytes);
+  reduce_ =
+      std::make_unique<fabric::ReduceUnit>(pool_, contributions_, result_);
+  reduce_->begin_step();
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    nodes_.push_back(std::make_unique<fabric::FabricNode>(
+        n, fcfg_, switch_, pool_, contributions_[n], result_,
+        std::span<const mem::Region>(), nullptr));
+    const std::vector<float> shard(mem::kWordsPerLine, pushed_value(n));
+    nodes_[n]->set_gradients(shard);
+  }
+}
+
+float FabricDriver::pushed_value(std::uint32_t n) const {
+  // Exactly representable in FP32 (and their sum is too), so any fold
+  // order reproduces the arithmetic sum bitwise.
+  return n == 0 ? 1.5f : 2.25f;
+}
+
+float FabricDriver::expected_reduced() const {
+  float sum = 0.0f;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    if (folded_[n]) sum += pushed_value(n);
+  }
+  return sum;
+}
+
+std::vector<FabricAction> FabricDriver::alphabet() const {
+  using K = FabricAction::Kind;
+  std::vector<FabricAction> out;
+  for (std::uint8_t n = 0; n < kNodes; ++n) out.push_back({K::kPush, n});
+  for (std::uint8_t n = 0; n < kNodes; ++n) out.push_back({K::kFold, n});
+  out.push_back({K::kCommit, 0});
+  for (std::uint8_t n = 0; n < kNodes; ++n) out.push_back({K::kBroadcast, n});
+  out.push_back({K::kFence, 0});
+  out.push_back({K::kMutate, 0});
+  return out;
+}
+
+bool FabricDriver::enabled(const FabricAction& a) const {
+  switch (a.kind) {
+    case FabricAction::Kind::kPush:
+      return !pushed_[a.node];
+    case FabricAction::Kind::kFold:
+      return pushed_[a.node] && !folded_[a.node] && !committed_;
+    case FabricAction::Kind::kCommit:
+      return folded_[0] && folded_[1] && !committed_;
+    case FabricAction::Kind::kBroadcast:
+      return committed_ && !bcast_[a.node];
+    case FabricAction::Kind::kFence:
+      return true;
+    case FabricAction::Kind::kMutate:
+      if (mutation_fired_ || cfg_.mutation == FabricMutation::kNone) {
+        return false;
+      }
+      if (cfg_.mutation == FabricMutation::kDroppedFlit) {
+        return pushed_[0] || pushed_[1];
+      }
+      return folded_[0] || folded_[1];
+  }
+  __builtin_unreachable();
+}
+
+void FabricDriver::apply(const FabricAction& a) {
+  switch (a.kind) {
+    case FabricAction::Kind::kPush:
+      nodes_[a.node]->push_contribution(now_, 0);
+      now_ = nodes_[a.node]->fence(now_);
+      pushed_[a.node] = true;
+      return;
+    case FabricAction::Kind::kFold:
+      now_ = reduce_->fold(now_, a.node, 0);
+      folded_[a.node] = true;
+      return;
+    case FabricAction::Kind::kCommit:
+      now_ = reduce_->commit(now_, 0);
+      committed_ = true;
+      return;
+    case FabricAction::Kind::kBroadcast:
+      nodes_[a.node]->broadcast_result(now_, 0);
+      now_ = nodes_[a.node]->fence(now_);
+      bcast_[a.node] = true;
+      return;
+    case FabricAction::Kind::kFence:
+      for (auto& n : nodes_) {
+        const sim::Time f = n->fence(now_);
+        if (f > now_) now_ = f;
+      }
+      return;
+    case FabricAction::Kind::kMutate:
+      mutation_fired_ = true;
+      if (cfg_.mutation == FabricMutation::kDroppedFlit) {
+        // A cross-port flit vanishes: the staged window loses the pushed
+        // bytes while the oracle still expects them.
+        for (std::uint32_t n = 0; n < kNodes; ++n) {
+          if (pushed_[n]) {
+            pool_.store().write_line(contributions_[n].base,
+                                     mem::BackingStore::Line{});
+            return;
+          }
+        }
+      } else {
+        // The reduce unit applies a node's merge a second time.
+        for (std::uint32_t n = 0; n < kNodes; ++n) {
+          if (folded_[n]) {
+            now_ = reduce_->fold(now_, n, 0);
+            return;
+          }
+        }
+      }
+      return;
+  }
+  __builtin_unreachable();
+}
+
+std::string FabricDriver::canonical() const {
+  std::string s;
+  s.reserve(64);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    s.push_back(pushed_[n] ? 'P' : 'p');
+    s.push_back(folded_[n] ? 'F' : 'f');
+    s.push_back(bcast_[n] ? 'B' : 'b');
+  }
+  s.push_back(committed_ ? 'C' : 'c');
+  s.push_back(mutation_fired_ ? 'M' : 'm');
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    append_f32(s, pool_.store().read_f32(contributions_[n].base));
+    append_f32(s, nodes_[n]->device_f32(result_.base));
+  }
+  append_f32(s, reduce_->accumulator(0)[0]);
+  append_f32(s, pool_.store().read_f32(result_.base));
+  return s;
+}
+
+std::optional<std::string> FabricDriver::check_invariants() const {
+  if (const auto v = reduce_->check_invariants()) return v;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const float want_staged = pushed_[n] ? pushed_value(n) : 0.0f;
+    for (std::uint64_t w = 0; w < mem::kWordsPerLine; ++w) {
+      const float got = pool_.store().read_f32(contributions_[n].base + w * 4);
+      if (got != want_staged) {
+        return "staged pool word " + std::to_string(w) + " of node " +
+               std::to_string(n) + " holds " + std::to_string(got) +
+               ", oracle expects " + std::to_string(want_staged);
+      }
+    }
+  }
+  const float acc = reduce_->accumulator(0)[0];
+  if (acc != expected_reduced()) {
+    return "accumulator holds " + std::to_string(acc) +
+           ", oracle expects " + std::to_string(expected_reduced());
+  }
+  const float want_result = committed_ ? expected_reduced() : 0.0f;
+  if (pool_.store().read_f32(result_.base) != want_result) {
+    return "pool result word holds " +
+           std::to_string(pool_.store().read_f32(result_.base)) +
+           ", oracle expects " + std::to_string(want_result);
+  }
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const float want = bcast_[n] ? want_result : 0.0f;
+    if (nodes_[n]->device_f32(result_.base) != want) {
+      return "node " + std::to_string(n) + " result copy holds " +
+             std::to_string(nodes_[n]->device_f32(result_.base)) +
+             ", oracle expects " + std::to_string(want);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_counterexample(const FabricCounterexample& c) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < c.path.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << to_string(c.path[i]);
+  }
+  os << "] -> " << c.what;
+  return os.str();
+}
+
+std::string FabricMcResult::summary() const {
+  std::ostringstream os;
+  os << "states=" << states << " edges=" << edges << " deduped=" << deduped
+     << " max_depth=" << max_depth
+     << (truncated ? " TRUNCATED" : " exhaustive")
+     << " failures=" << failures_total;
+  return os.str();
+}
+
+FabricMcResult fabric_model_check(const FabricMcConfig& cfg) {
+  FabricMcResult res;
+  std::set<std::string> visited;
+  std::deque<std::vector<FabricAction>> queue;
+  std::vector<FabricAction> alphabet;
+  {
+    FabricDriver d0(cfg);
+    alphabet = d0.alphabet();
+    visited.insert(d0.canonical());
+    res.states = 1;
+  }
+  queue.push_back({});
+
+  while (!queue.empty()) {
+    const std::vector<FabricAction> path = std::move(queue.front());
+    queue.pop_front();
+    for (const FabricAction& a : alphabet) {
+      // Drivers are not copyable: replay the BFS prefix through a fresh
+      // domain, so every explored edge runs the real fabric code.
+      FabricDriver d(cfg);
+      for (const FabricAction& p : path) d.apply(p);
+      if (!d.enabled(a)) continue;
+      ++res.edges;
+      const auto fail = [&](const std::string& what) {
+        ++res.failures_total;
+        if (res.failures.size() < cfg.max_counterexamples) {
+          FabricCounterexample cx;
+          cx.path = path;
+          cx.path.push_back(a);
+          cx.what = what;
+          res.failures.push_back(std::move(cx));
+        }
+      };
+      try {
+        d.apply(a);
+      } catch (const check::ProtocolViolation& v) {
+        fail(v.what());
+        continue;
+      }
+      if (const auto inv = d.check_invariants()) {
+        fail(*inv);
+        continue;
+      }
+      const std::string c = d.canonical();
+      if (visited.count(c) != 0) {
+        ++res.deduped;
+        continue;
+      }
+      if (res.states >= cfg.max_states) {
+        res.truncated = true;
+        continue;
+      }
+      visited.insert(c);
+      ++res.states;
+      std::vector<FabricAction> next = path;
+      next.push_back(a);
+      if (next.size() > res.max_depth) res.max_depth = next.size();
+      queue.push_back(std::move(next));
+    }
+  }
+  return res;
+}
+
+}  // namespace teco::mc

@@ -1,0 +1,152 @@
+// Exhaustive model checking of a pooled-fabric all-reduce slice (teco::mc).
+//
+// The checked system is the *real* teco::fabric code — CxlSwitch,
+// PooledMemory, ReduceUnit, and two FabricNodes whose strict per-node
+// ProtocolCheckers stay attached throughout — at model-checking scale: two
+// nodes, a one-line gradient shard, a tiny pool-side cache. The driver
+// exposes the collective's steps as a nondeterministic action alphabet
+// (push per node, fold per node, commit, broadcast per node, fence) and
+// fabric_model_check() enumerates every interleaving breadth-first,
+// deduplicating states by a canonical vector of protocol flags and the
+// actual pool/device bytes.
+//
+// Properties at every explored state:
+//  * the strict per-node runtime checkers hold on every edge (apply()
+//    throws check::ProtocolViolation otherwise);
+//  * the ReduceUnit merge watchdog holds (no double-applied fold, the
+//    accumulator matches its fold-order recompute);
+//  * closed-form reduced-value oracle: staged pool windows hold exactly
+//    the pushed node's value, the committed result is the fold of the
+//    recorded contributions, and every broadcast copy equals the pool
+//    master. Node values are exactly representable (1.5, 2.25) so FP32
+//    fold order cannot perturb the oracle.
+//
+// Mutation re-injection seeds one defect as a nondeterministic action:
+//  * kDroppedFlit  — a cross-port flit vanishes after a push: the staged
+//                    pool line is wiped while the oracle still expects the
+//                    pushed bytes (caught by value convergence);
+//  * kDoubleFold   — the reduce unit applies a node's merge twice (caught
+//                    by the fold-count watchdog).
+// Because drivers are replayed breadth-first, the reported counterexample
+// paths are minimal by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/allreduce.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/pool.hpp"
+#include "fabric/switch.hpp"
+
+namespace teco::mc {
+
+enum class FabricMutation : std::uint8_t {
+  kNone,
+  kDroppedFlit,
+  kDoubleFold,
+};
+
+std::string_view to_string(FabricMutation m);
+
+struct FabricMcConfig {
+  FabricMutation mutation = FabricMutation::kNone;
+  /// Truncation bound; an exhaustive result requires staying under it.
+  std::size_t max_states = 10000;
+  /// At most this many counterexamples kept (totals count every failure).
+  std::size_t max_counterexamples = 8;
+};
+
+struct FabricAction {
+  enum class Kind : std::uint8_t {
+    kPush,       ///< Node `node` update-pushes its shard into the pool.
+    kFold,       ///< The reduce unit folds node `node`'s staged shard.
+    kCommit,     ///< The reduce unit commits the accumulator.
+    kBroadcast,  ///< Node `node` receives the reduced line.
+    kFence,      ///< Drain every link and the shared ports (stutter step).
+    kMutate,     ///< Fire the configured defect.
+  };
+  Kind kind = Kind::kFence;
+  std::uint8_t node = 0;
+};
+
+std::string to_string(const FabricAction& a);
+
+/// One rebuildable 2-node × 1-pool-line fabric domain. Not copyable — the
+/// checker replays the BFS action prefix through a fresh driver per edge.
+class FabricDriver {
+ public:
+  explicit FabricDriver(const FabricMcConfig& cfg);
+
+  FabricDriver(const FabricDriver&) = delete;
+  FabricDriver& operator=(const FabricDriver&) = delete;
+
+  static constexpr std::uint32_t kNodes = 2;
+
+  /// Fixed action order — BFS determinism and the golden state counts
+  /// depend on it.
+  std::vector<FabricAction> alphabet() const;
+  bool enabled(const FabricAction& a) const;
+
+  /// Execute one action against the real fabric. Throws
+  /// check::ProtocolViolation if a strict per-node checker objects.
+  void apply(const FabricAction& a);
+
+  /// Canonical state: protocol flags plus the actual pool/device bytes.
+  std::string canonical() const;
+
+  /// The merge watchdog + the closed-form reduced-value oracle; first
+  /// failure description, or nullopt when every invariant holds.
+  std::optional<std::string> check_invariants() const;
+
+  bool mutation_fired() const { return mutation_fired_; }
+  sim::Time now() const { return now_; }
+
+ private:
+  float pushed_value(std::uint32_t n) const;
+  float expected_reduced() const;
+
+  FabricMcConfig cfg_;
+  fabric::FabricConfig fcfg_;
+  fabric::PooledMemory pool_;
+  fabric::CxlSwitch switch_;
+  std::vector<mem::Region> contributions_;
+  mem::Region result_;
+  std::unique_ptr<fabric::ReduceUnit> reduce_;
+  std::vector<std::unique_ptr<fabric::FabricNode>> nodes_;
+  bool pushed_[kNodes] = {false, false};
+  bool folded_[kNodes] = {false, false};
+  bool committed_ = false;
+  bool bcast_[kNodes] = {false, false};
+  bool mutation_fired_ = false;
+  sim::Time now_ = 0.0;
+};
+
+/// A minimal action trace from the initial state to a property failure.
+struct FabricCounterexample {
+  std::vector<FabricAction> path;
+  std::string what;
+};
+
+std::string format_counterexample(const FabricCounterexample& c);
+
+struct FabricMcResult {
+  std::size_t states = 0;
+  std::size_t edges = 0;
+  std::size_t deduped = 0;  ///< Edges that hit an already-visited state.
+  std::size_t max_depth = 0;
+  bool truncated = false;   ///< Hit max_states; counts are a lower bound.
+  std::vector<FabricCounterexample> failures;
+  std::size_t failures_total = 0;
+
+  bool ok() const { return failures_total == 0; }
+  std::string summary() const;
+};
+
+/// Breadth-first exhaustive sweep of the 2-node × 1-pool-line slice.
+FabricMcResult fabric_model_check(const FabricMcConfig& cfg);
+
+}  // namespace teco::mc

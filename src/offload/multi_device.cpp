@@ -29,17 +29,30 @@ MultiDeviceStep simulate_multi_device_step(RuntimeKind kind,
     out.per_device = simulate_step(kind, model, per_dev_batch, cal, opts);
   }
 
-  // CPU-side gradient reduction: read N streams + write one, sharing the
-  // CPU memory bandwidth (it is one socket doing all the summing). The
-  // single-device timeline already includes one clip pass; the reduction
-  // of the remaining (N-1) streams is the extra serial stage.
-  const double extra_streams = static_cast<double>(mdc.devices - 1);
-  out.grad_reduce = extra_streams *
-                    static_cast<double>(model.gradient_bytes()) * 2.0 /
-                    cal.cpu_stream_bw;
+  // CPU-side gradient reduction: the single-device timeline already
+  // includes one clip pass; the reduction of the remaining (N-1) streams
+  // is the extra serial stage (the closed form lives in per_link_reduce so
+  // bench_fabric_allreduce's baseline arm charges the identical model).
+  out.grad_reduce =
+      per_link_reduce(mdc.devices, model.gradient_bytes(), cal).reduce;
 
   out.step_total = out.per_device.total() + out.grad_reduce;
   out.comm_fraction = out.per_device.comm_exposed() / out.step_total;
+  return out;
+}
+
+PerLinkReduce per_link_reduce(std::uint32_t devices, std::uint64_t grad_bytes,
+                              const Calibration& cal, bool shared_upstream) {
+  if (devices == 0) throw std::invalid_argument("devices > 0");
+  PerLinkReduce out;
+  sim::Bandwidth bw = cal.phy.cxl_bandwidth();
+  if (shared_upstream && devices > 1) bw /= static_cast<double>(devices);
+  out.ship = static_cast<double>(grad_bytes) / bw;
+  // Read N streams + write one, sharing the CPU memory bandwidth (one
+  // socket does all the summing): (N-1) extra read+write passes.
+  out.reduce = static_cast<double>(devices - 1) *
+               static_cast<double>(grad_bytes) * 2.0 / cal.cpu_stream_bw;
+  out.broadcast = static_cast<double>(grad_bytes) / bw;
   return out;
 }
 

@@ -49,6 +49,27 @@ MultiDeviceStep simulate_multi_device_step(RuntimeKind kind,
                                            const Calibration& cal,
                                            const StepOptions& opts = {});
 
+/// The per-link gradient exchange in closed form: every device ships its
+/// full gradient set over its own link, the CPU reduces the N streams
+/// (memory-bound, (N-1) extra read+write passes over grad_bytes sharing
+/// cpu_stream_bw), and results broadcast back down every link in parallel.
+/// `reduce` is exactly the grad_reduce stage simulate_multi_device_step
+/// charges; the whole struct is the baseline arm `bench_fabric_allreduce`
+/// compares the pooled-fabric collectives against (and the numbers
+/// `bench_multi_device` prints for the same topology).
+struct PerLinkReduce {
+  sim::Time ship = 0.0;       ///< Gradients up, per link (parallel).
+  sim::Time reduce = 0.0;     ///< CPU reduction of the N streams.
+  sim::Time broadcast = 0.0;  ///< Results down, per link (parallel).
+  sim::Time total() const { return ship + reduce + broadcast; }
+};
+
+/// `shared_upstream` mirrors MultiDeviceConfig: behind one switch port the
+/// links fair-share 1/N of the upstream bandwidth.
+PerLinkReduce per_link_reduce(std::uint32_t devices, std::uint64_t grad_bytes,
+                              const Calibration& cal,
+                              bool shared_upstream = false);
+
 /// Strong-scaling sweep: speedup of TECO-Reduction over ZeRO-Offload as
 /// device count grows at fixed global batch.
 struct ScalingPoint {

@@ -216,6 +216,58 @@ TEST(ConfigParser, ServeConfigMapsSessionKnobs) {
   EXPECT_EQ(s.hbm_kv_bytes, 2ull << 30);
 }
 
+TEST(ConfigParser, FabricKeysParseAndRoundTrip) {
+  const auto parsed = core::parse_config(
+      "fabric_nodes      = 4\n"
+      "fabric_pool_bytes = 1048576\n"
+      "fabric_port_gbps  = 12.5\n"
+      "fabric_reduce     = pool_staging\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.unknown_keys.empty());
+  EXPECT_EQ(parsed.session.fabric_nodes, 4u);
+  EXPECT_EQ(parsed.session.fabric_pool_bytes, 1048576u);
+  EXPECT_DOUBLE_EQ(parsed.session.fabric_port_gbps, 12.5);
+  EXPECT_EQ(parsed.session.fabric_reduce, fabric::ReduceStrategy::kPoolStaging);
+
+  const auto again = core::parse_config(core::to_config_text(parsed.session));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.session.fabric_nodes, 4u);
+  EXPECT_EQ(again.session.fabric_pool_bytes, 1048576u);
+  EXPECT_DOUBLE_EQ(again.session.fabric_port_gbps, 12.5);
+  EXPECT_EQ(again.session.fabric_reduce, fabric::ReduceStrategy::kPoolStaging);
+}
+
+TEST(ConfigParser, FabricKeysRejectMalformedValues) {
+  EXPECT_FALSE(core::parse_config("fabric_nodes = 0").ok());
+  EXPECT_FALSE(core::parse_config("fabric_nodes = 65").ok());
+  EXPECT_FALSE(core::parse_config("fabric_nodes = two").ok());
+  EXPECT_FALSE(core::parse_config("fabric_pool_bytes = 0").ok());
+  EXPECT_FALSE(core::parse_config("fabric_port_gbps = -1").ok());
+  EXPECT_FALSE(core::parse_config("fabric_port_gbps = fast").ok());
+  EXPECT_FALSE(core::parse_config("fabric_reduce = ring").ok());
+  EXPECT_TRUE(core::parse_config("fabric_reduce = per_link").ok());
+}
+
+TEST(ConfigParser, FabricConfigMapsSessionKnobs) {
+  core::SessionConfig cfg;
+  cfg.fabric_nodes = 8;
+  cfg.fabric_pool_bytes = 4ull << 20;
+  cfg.fabric_port_gbps = 24.0;
+  cfg.fabric_reduce = fabric::ReduceStrategy::kPerLink;
+  cfg.dba_enabled = false;
+  cfg.dirty_bytes = 3;
+  cfg.check = check::CheckLevel::kOff;
+  const fabric::FabricConfig f = core::fabric_config(cfg);
+  EXPECT_EQ(f.nodes, 8u);
+  EXPECT_EQ(f.pool_bytes, 4ull << 20);
+  EXPECT_DOUBLE_EQ(f.port_gbps, 24.0);
+  EXPECT_EQ(f.reduce, fabric::ReduceStrategy::kPerLink);
+  EXPECT_FALSE(f.dba_enabled);
+  EXPECT_EQ(f.dirty_bytes, 3u);
+  EXPECT_FALSE(f.check);
+  EXPECT_DOUBLE_EQ(f.node_phy.raw_bandwidth, cfg.phy.raw_bandwidth);
+}
+
 TEST(ConfigParser, MissingFileIsReported) {
   const auto parsed = core::load_config_file("/nonexistent/teco.cfg");
   ASSERT_FALSE(parsed.ok());

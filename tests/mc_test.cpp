@@ -10,6 +10,7 @@
 
 #include "core/session.hpp"
 #include "mc/hb_analyzer.hpp"
+#include "mc/fabric_driver.hpp"
 #include "mc/model_checker.hpp"
 #include "mc/mutation_hook.hpp"
 
@@ -272,6 +273,58 @@ TEST(HbAnalyzer, AnalyzeWithoutRecorderThrows) {
   core::SessionConfig cfg;  // check = strict, no recorder.
   core::Session s(cfg);
   EXPECT_THROW((void)s.analyze_hb(), std::logic_error);
+}
+
+// --- Pooled-fabric slice (src/mc/fabric_driver.hpp) ------------------------
+
+TEST(FabricMc, TwoNodePoolSliceSweepsExhaustively) {
+  const auto r = mc::fabric_model_check(mc::FabricMcConfig{});
+  EXPECT_FALSE(r.truncated) << r.summary();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  // Golden state space of the 2-node × 1-pool-line collective: push/fold/
+  // commit/broadcast over a fixed alphabet, BFS-deterministic.
+  EXPECT_EQ(r.states, 13u) << r.summary();
+  EXPECT_EQ(r.edges, 30u) << r.summary();
+  EXPECT_EQ(r.deduped, 18u) << r.summary();
+  EXPECT_EQ(r.max_depth, 7u) << r.summary();
+}
+
+TEST(FabricMc, DroppedCrossPortFlitIsCaughtMinimally) {
+  mc::FabricMcConfig cfg;
+  cfg.mutation = mc::FabricMutation::kDroppedFlit;
+  const auto r = mc::fabric_model_check(cfg);
+  EXPECT_FALSE(r.truncated) << r.summary();
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.failures.empty());
+  // BFS order makes the first counterexample minimal: the flit vanishes
+  // right after the first push, two actions deep.
+  const auto& cx = r.failures.front();
+  ASSERT_EQ(cx.path.size(), 2u) << mc::format_counterexample(cx);
+  EXPECT_EQ(cx.path[0].kind, mc::FabricAction::Kind::kPush);
+  EXPECT_EQ(cx.path[1].kind, mc::FabricAction::Kind::kMutate);
+  EXPECT_NE(cx.what.find("oracle expects"), std::string::npos)
+      << mc::format_counterexample(cx);
+  // The mutated edge never extends the frontier: the healthy state space
+  // stays the golden 13.
+  EXPECT_EQ(r.states, 13u) << r.summary();
+}
+
+TEST(FabricMc, DoubleAppliedMergeIsCaughtMinimally) {
+  mc::FabricMcConfig cfg;
+  cfg.mutation = mc::FabricMutation::kDoubleFold;
+  const auto r = mc::fabric_model_check(cfg);
+  EXPECT_FALSE(r.truncated) << r.summary();
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.failures.empty());
+  // Minimal path: push, fold, then the double-applied merge — three deep.
+  const auto& cx = r.failures.front();
+  ASSERT_EQ(cx.path.size(), 3u) << mc::format_counterexample(cx);
+  EXPECT_EQ(cx.path[0].kind, mc::FabricAction::Kind::kPush);
+  EXPECT_EQ(cx.path[1].kind, mc::FabricAction::Kind::kFold);
+  EXPECT_EQ(cx.path[2].kind, mc::FabricAction::Kind::kMutate);
+  EXPECT_NE(cx.what.find("merge applied 2 times"), std::string::npos)
+      << mc::format_counterexample(cx);
+  EXPECT_EQ(r.states, 13u) << r.summary();
 }
 
 }  // namespace
