@@ -1,0 +1,184 @@
+// Critical-path attribution: where does a training step's time actually go
+// (obs::causal), and how does the answer move when DBA is ablated?
+//
+// One tiered GPT-2 step is simulated twice on the shared-link timeline with
+// the causal DAG wired: once with dirty-byte aggregation on (dirty_bytes=2,
+// the paper's trained-step payload) and once ablated (dirty_bytes=4 — full
+// 64-B lines on the parameter stream). critical_path() over [0, step_total]
+// partitions the step into compute / link-occupancy / fence-drain /
+// migration-stall segments with a hard conservation check: the category
+// sums must reconcile with the step end-to-end exactly.
+//
+// The headline: with DBA on, the exposed parameter writeback is trimmed
+// away and the residual critical path is link/migration-bound
+// (demand_fetch + evict_stall + cxl occupancy); ablating DBA balloons the
+// optimizer-side CXLFENCE drain, and the attribution shifts fence-bound —
+// the same conclusion as Fig. 12, but derived from the causal DAG rather
+// than from phase bookkeeping.
+//
+// Flags / environment:
+//   --json <path>   export the DBA-on step's critical path as Chrome
+//                   trace_event JSON: per-category lanes + flow arrows
+//                   chaining the path hops (chrome://tracing, perfetto).
+//   TECO_SMOKE=1    shrink the sequence length for CI smoke runs.
+//   TECO_BENCH_DIR  where BENCH_critical_path.json lands (default: cwd).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/trace_export.hpp"
+#include "dl/model_zoo.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/causal.hpp"
+#include "offload/activation_timeline.hpp"
+
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+using teco::obs::causal::Attribution;
+using teco::obs::causal::Category;
+
+/// Share of the step the path attributes to link traffic: occupancy waits
+/// plus the migration stalls that are blocked on that same wire.
+double link_share(const Attribution& a) {
+  const double t = a.total();
+  if (t <= 0.0) return 0.0;
+  return (a.of(Category::kCxlUp) + a.of(Category::kCxlDown) +
+          a.of(Category::kSwitchQueue) + a.of(Category::kDemandFetch) +
+          a.of(Category::kEvictStall)) /
+         t;
+}
+
+double fence_share(const Attribution& a) {
+  const double t = a.total();
+  return t > 0.0 ? a.of(Category::kFenceDrain) / t : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace teco;
+  const char* smoke_env = std::getenv("TECO_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  const auto& cal = offload::default_calibration();
+  auto model = dl::gpt2();
+  // Long-sequence + 16 GiB budget leaves the working set well past HBM, so
+  // the min_stall plan keeps the link busy with migrations — that is what
+  // puts demand_fetch/evict_stall on the DBA-on critical path.
+  model.seq_len = smoke ? 4096 : 8192;
+  const std::uint32_t batch = 8;
+
+  struct Arm {
+    const char* name;
+    std::uint8_t dirty_bytes;
+    Attribution attr;
+    sim::Time step_total = 0.0;
+  };
+  std::vector<Arm> arms = {{"dba_on", 2, {}, 0.0}, {"dba_ablated", 4, {}, 0.0}};
+
+  obs::causal::CausalGraph graph;
+  core::ChromeTraceComposer composer;
+  for (Arm& arm : arms) {
+    graph.clear();
+    offload::ActivationTimelineOptions opts;
+    opts.policy = tier::Policy::kMinStall;
+    opts.hbm_bytes = 16 * kGiB;
+    opts.giant_cache_bytes = 4 * kGiB;
+    opts.dirty_bytes = arm.dirty_bytes;
+    opts.causal = &graph;
+    const auto r = offload::simulate_activation_step(model, batch, cal, opts);
+    arm.attr = r.attribution;
+    arm.step_total = r.step_total;
+    if (!arm.attr.conserved()) {
+      std::fprintf(stderr, "ERROR: %s attribution failed conservation\n",
+                   arm.name);
+      return 1;
+    }
+    std::fputs(arm.attr.why_slow(std::string("step/") + arm.name).c_str(),
+               stdout);
+    std::puts("");
+    if (std::strcmp(arm.name, "dba_on") == 0 && !json_path.empty()) {
+      composer.add_critical_path(arm.attr, "teco.critpath dba_on", /*pid=*/3);
+    }
+  }
+
+  core::TextTable t("Critical-path attribution, DBA on vs ablated (GPT-2 "
+                    "proxy, seq " +
+                    std::to_string(model.seq_len) + ", batch " +
+                    std::to_string(batch) + ", HBM 16 GiB, min_stall)");
+  t.set_header({"arm", "step", "compute", "link-bound", "fence_drain",
+                "link share", "fence share"});
+  for (const Arm& arm : arms) {
+    const Attribution& a = arm.attr;
+    const double link = a.of(Category::kCxlUp) + a.of(Category::kCxlDown) +
+                        a.of(Category::kSwitchQueue) +
+                        a.of(Category::kDemandFetch) +
+                        a.of(Category::kEvictStall);
+    t.add_row({arm.name, core::TextTable::ms(arm.step_total),
+               core::TextTable::ms(a.of(Category::kCompute)),
+               core::TextTable::ms(link),
+               core::TextTable::ms(a.of(Category::kFenceDrain)),
+               core::TextTable::pct(link_share(a)),
+               core::TextTable::pct(fence_share(a))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  const double shift = fence_share(arms[1].attr) - fence_share(arms[0].attr);
+  if (shift > 0.0) {
+    std::printf(
+        "-> Ablating DBA shifts the critical path fence-ward: fence_drain "
+        "share %.1f%% -> %.1f%% (+%.1f pts) while the link-bound share "
+        "drops %.1f%% -> %.1f%%.\n\n",
+        fence_share(arms[0].attr) * 100.0, fence_share(arms[1].attr) * 100.0,
+        shift * 100.0, link_share(arms[0].attr) * 100.0,
+        link_share(arms[1].attr) * 100.0);
+  } else {
+    std::puts("-> WARNING: DBA ablation did not increase the fence_drain "
+              "share.\n");
+  }
+
+  obs::BenchReport report("critical_path");
+  report.set_config("model", "gpt2");
+  report.set_config("batch", static_cast<double>(batch));
+  report.set_config("seq_len", static_cast<double>(model.seq_len));
+  report.set_config("hbm_gib", 16.0);
+  report.set_config("policy", "min_stall");
+  report.set_headline("dba_on_link_share_pct",
+                      link_share(arms[0].attr) * 100.0);
+  report.set_headline("dba_on_fence_share_pct",
+                      fence_share(arms[0].attr) * 100.0);
+  report.set_headline("dba_ablated_link_share_pct",
+                      link_share(arms[1].attr) * 100.0);
+  report.set_headline("dba_ablated_fence_share_pct",
+                      fence_share(arms[1].attr) * 100.0);
+  report.set_headline("fence_share_shift_pts", shift * 100.0);
+  report.set_headline("dba_on_step_ms", arms[0].step_total * 1e3);
+  report.set_headline("dba_ablated_step_ms", arms[1].step_total * 1e3);
+  const std::string written = report.write();
+  if (!written.empty()) {
+    std::printf("Bench report written to %s\n", written.c_str());
+  }
+
+  if (!json_path.empty()) {
+    if (composer.write(json_path)) {
+      std::printf("Chrome trace written to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return shift > 0.0 ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include "dl/fp16.hpp"
 #include "mem/cache.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/causal.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -160,6 +161,27 @@ void BM_EventQueueSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueSchedule);
+
+// The causal-provenance overhead acceptance pair: BM_EventQueueSchedule is
+// the bare baseline (null sink — one pointer test per schedule); this arm
+// attaches a CausalGraph so every schedule appends one DAG node. The delta
+// must stay under 5 %. Build with -DTECO_OBS=OFF to measure the
+// compiled-out floor (the sink hook and Entry::node vanish entirely).
+void BM_EventQueueScheduleCausal(benchmark::State& state) {
+  obs::causal::CausalGraph g;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    q.set_causal_sink(&g);
+    sim::TagScope tag(q, obs::causal::tag(obs::causal::Category::kCompute));
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<double>(i % 37), [] {});
+    }
+    q.run();
+    g.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleCausal);
 
 void BM_Lz4Compress(benchmark::State& state) {
   sim::Rng rng(3);

@@ -34,14 +34,24 @@ def fmt(v):
 def diff_section(title, base, cand, threshold_pct):
     keys = sorted(set(base) | set(cand))
     if not keys:
-        return [], 0
+        return [], 0, [], []
     width = max(len(k) for k in keys)
     lines = [f"{title}:"]
     regressions = 0
+    added, removed = [], []
     for k in keys:
         b, c = base.get(k), cand.get(k)
-        if b is None or c is None:
-            lines.append(f"  {k:<{width}}  {fmt(b)} -> {fmt(c)}  (one-sided)")
+        if b is None:
+            added.append(k)
+            lines.append(
+                f"  {k:<{width}}  (absent) -> {fmt(c)}  ADDED in candidate"
+            )
+            continue
+        if c is None:
+            removed.append(k)
+            lines.append(
+                f"  {k:<{width}}  {fmt(b)} -> (absent)  REMOVED from candidate"
+            )
             continue
         if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
             mark = "" if b == c else "  *"
@@ -57,7 +67,7 @@ def diff_section(title, base, cand, threshold_pct):
             f"  {k:<{width}}  {fmt(b)} -> {fmt(c)}"
             f"  ({delta:+.4g}, {rel:+.2f}%){flag}"
         )
-    return lines, regressions
+    return lines, regressions, added, removed
 
 
 def main():
@@ -84,18 +94,31 @@ def main():
         print("note: at least one side ran with TECO_SMOKE=1 (shrunk work)")
 
     total = 0
-    lines, bad = diff_section(
+    added, removed = [], []
+    lines, bad, add, rem = diff_section(
         "headline", base.get("headline", {}), cand.get("headline", {}),
         args.threshold_pct,
     )
     print("\n".join(lines))
     total += bad
+    added += add
+    removed += rem
 
+    # Diff metrics whenever EITHER side carries them: a registry that
+    # vanished (or appeared) wholesale is exactly the key churn this report
+    # must surface, not silently skip.
     metrics_b, metrics_c = base.get("metrics", {}), cand.get("metrics", {})
-    if metrics_b and metrics_c:
-        lines, _ = diff_section("metrics", metrics_b, metrics_c, 0.0)
+    if metrics_b or metrics_c:
+        lines, _, add, rem = diff_section("metrics", metrics_b, metrics_c, 0.0)
         print("\n".join(lines))
+        added += add
+        removed += rem
 
+    if added:
+        print(f"{len(added)} key(s) added in candidate: {', '.join(added)}")
+    if removed:
+        print(f"{len(removed)} key(s) removed from candidate: "
+              f"{', '.join(removed)}")
     if total:
         print(f"{total} headline value(s) beyond ±{args.threshold_pct}%")
         return 1

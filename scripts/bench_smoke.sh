@@ -4,8 +4,8 @@
 # TECO_SMOKE=1 asks the heavier benches (loss curves, accuracy tables,
 # activation/tier sweeps, trace replay, multi-device scaling, the LJ melt,
 # the ablation sweeps, bench_ft_recovery, the bench_serve_slo serving
-# sweep, the bench_fabric_allreduce pooled-fabric sweep) to shrink their
-# work; the
+# sweep, the bench_fabric_allreduce pooled-fabric sweep, the
+# bench_critical_path attribution comparison) to shrink their work; the
 # google-benchmark binary is capped with --benchmark_min_time instead.
 # bench_tier_activation additionally smoke-tests the Chrome trace exporter
 # (--json into a temp file that must be non-empty).

@@ -234,6 +234,24 @@ ParsedConfig parse_config(std::string_view text) {
       if (!parse_onoff(value, &out.session.obs_step_log)) {
         fail("obs_step_log must be on/off");
       }
+    } else if (key == "obs_causal") {
+      if (!parse_onoff(value, &out.session.obs_causal)) {
+        fail("obs_causal must be on/off");
+      }
+    } else if (key == "obs_causal_max_nodes") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v) && v > 0) {
+        out.session.obs_causal_max_nodes = static_cast<std::size_t>(v);
+      } else {
+        fail("obs_causal_max_nodes must be a positive integer");
+      }
+    } else if (key == "obs_trace_max_spans") {
+      std::uint64_t v = 0;
+      if (parse_u64(value, &v)) {
+        out.session.obs_trace_max_spans = static_cast<std::size_t>(v);
+      } else {
+        fail("obs_trace_max_spans must be a non-negative integer");
+      }
     } else {
       out.unknown_keys.push_back(key);
     }
@@ -289,6 +307,9 @@ std::string to_config_text(const SessionConfig& cfg) {
     os << "obs_trace_path = " << cfg.obs_trace_path << "\n";
   }
   os << "obs_step_log = " << (cfg.obs_step_log ? "on" : "off") << "\n";
+  os << "obs_causal = " << (cfg.obs_causal ? "on" : "off") << "\n";
+  os << "obs_causal_max_nodes = " << cfg.obs_causal_max_nodes << "\n";
+  os << "obs_trace_max_spans = " << cfg.obs_trace_max_spans << "\n";
   return os.str();
 }
 

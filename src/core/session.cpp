@@ -123,6 +123,9 @@ Session::~Session() {
   // Best-effort flush from a destructor: a failed write must not throw.
   ChromeTraceComposer c;
   c.add_spans(spans_, "teco.session", /*pid=*/1);
+  if (causal_ != nullptr && !step_attr_.segments.empty()) {
+    c.add_critical_path(step_attr_, "teco.critpath", /*pid=*/3);
+  }
   c.write(cfg_.obs_trace_path);
 }
 
@@ -139,6 +142,19 @@ void Session::setup_telemetry() {
   m_step_total_ = &metrics_.counter("step.total_us");
   m_step_overlap_ = &metrics_.counter("step.overlap_us");
   m_step_fence_ = &metrics_.counter("step.fence_drain_us");
+  spans_.set_max_spans(cfg_.obs_trace_max_spans);
+  m_dropped_spans_ = &metrics_.counter("obs.trace.dropped_spans");
+#ifndef TECO_OBS_DISABLED
+  if (cfg_.obs_causal) {
+    causal_ =
+        std::make_unique<obs::causal::CausalGraph>(cfg_.obs_causal_max_nodes);
+    for (std::size_t i = 0; i < obs::causal::kNumCategories; ++i) {
+      m_critpath_[i] = &metrics_.counter(
+          std::string("obs.critpath.") +
+          obs::causal::metric_suffix(static_cast<obs::causal::Category>(i)));
+    }
+  }
+#endif
   if (!cfg_.obs_jsonl_path.empty()) {
     jsonl_stream_ = std::make_unique<std::ofstream>(cfg_.obs_jsonl_path);
     if (!*jsonl_stream_) {
@@ -154,6 +170,11 @@ void Session::setup_telemetry() {
   }
 }
 
+void Session::causal_note(obs::causal::Category cat, sim::Time from) {
+  if (causal_ == nullptr || now_ <= from) return;
+  causal_last_ = causal_->add(cat, now_, causal_last_, from);
+}
+
 sim::Time Session::fence(const char* label) {
   const sim::Time t0 = now_;
   now_ = agent_->cxl_fence(now_);
@@ -161,6 +182,24 @@ sim::Time Session::fence(const char* label) {
     m_step_fence_->add((now_ - t0) * 1e6);
     step_fence_us_ += (now_ - t0) * 1e6;
     spans_.emit("fence", label, t0, now_);
+    if (causal_ != nullptr) {
+      // Attribute the drained window to the binding (later-draining)
+      // channel's occupancy — the critical path through a CXLFENCE is the
+      // slowest queued transfer, not "the fence" in the abstract; only the
+      // residual (message-forwarder tail) stays fence_drain.
+      const sim::Time up =
+          link_->channel(cxl::Direction::kDeviceToCpu).drain_time();
+      const sim::Time down =
+          link_->channel(cxl::Direction::kCpuToDevice).drain_time();
+      const sim::Time dom = std::clamp(std::max(up, down), t0, now_);
+      if (dom > t0) {
+        causal_last_ = causal_->add(up >= down
+                                        ? obs::causal::Category::kCxlUp
+                                        : obs::causal::Category::kCxlDown,
+                                    dom, causal_last_, t0);
+      }
+      causal_note(obs::causal::Category::kFenceDrain, dom);
+    }
   }
   return now_;
 }
@@ -244,6 +283,17 @@ sim::Time Session::optimizer_step_complete() {
   fence("optimizer");
   agent_->cpu_flush_all(now_);
 
+  if (causal_ != nullptr) {
+    // Extract this step's critical path (hard conservation check inside)
+    // and charge the category split to the obs.critpath.* counters.
+    step_attr_ = obs::causal::critical_path(*causal_, step_begin_, now_,
+                                            causal_last_);
+    for (std::size_t i = 0; i < obs::causal::kNumCategories; ++i) {
+      if (step_attr_.by_category[i] > 0.0) {
+        m_critpath_[i]->add(step_attr_.by_category[i] * 1e6);
+      }
+    }
+  }
   // Close the step: wall time, link busy time spent under compute (overlap)
   // versus behind a fence (already charged by fence()), one span, and a
   // snapshot for whoever is listening.
@@ -255,6 +305,11 @@ sim::Time Session::optimizer_step_complete() {
   m_step_overlap_->add(std::max(0.0, busy_us - step_fence_us_));
   spans_.emit("step", "step " + std::to_string(step_index_), step_begin_,
               now_);
+  // After the step span: a drop of the span that closes the step must be
+  // visible in this step's counter delta, not the next one's.
+  m_dropped_spans_->add(
+      static_cast<double>(spans_.dropped() - dropped_spans_base_));
+  dropped_spans_base_ = spans_.dropped();
   if (publisher_.has_sinks()) {
     publisher_.publish(metrics_, step_index_, step_begin_, now_);
   }
@@ -267,12 +322,14 @@ sim::Time Session::optimizer_step_complete() {
 
 std::vector<float> Session::device_read_parameters(mem::Addr base,
                                                    std::size_t count) {
+  const sim::Time t0 = now_;
   const std::size_t lines =
       (count * 4 + mem::kLineBytes - 1) / mem::kLineBytes;
   for (std::size_t l = 0; l < lines; ++l) {
     const auto a = agent_->device_read_line(now_, base + l * mem::kLineBytes);
     if (a.ready > now_) now_ = a.ready;
   }
+  causal_note(obs::causal::Category::kDemandFetch, t0);
   std::vector<float> out(count);
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = device_mem_.read_f32(base + i * 4);
@@ -281,7 +338,9 @@ std::vector<float> Session::device_read_parameters(mem::Addr base,
 }
 
 sim::Time Session::advance(sim::Time dt) {
+  const sim::Time t0 = now_;
   if (dt > 0.0) now_ += dt;
+  causal_note(obs::causal::Category::kCompute, t0);
   return now_;
 }
 
@@ -305,11 +364,13 @@ void Session::set_link_fault_hook(cxl::LinkFaultHook* hook) {
 
 sim::Time Session::scrub_device_line(mem::Addr line) {
   const bool dba_was = dba_active_;
+  const sim::Time t0 = now_;
   if (dba_was) {
     agent_->set_dba(now_, dba::DbaRegister(false, cfg_.dirty_bytes));
   }
   agent_->cpu_write_line(now_, line);
   now_ = agent_->cxl_fence(now_);
+  causal_note(obs::causal::Category::kFenceDrain, t0);
   if (dba_was) {
     agent_->set_dba(now_, dba::DbaRegister(true, cfg_.dirty_bytes));
   }
@@ -331,12 +392,14 @@ void Session::seed_cpu_memory(mem::Addr base, std::span<const float> values) {
 
 std::vector<float> Session::cpu_read_gradients(mem::Addr base,
                                                std::size_t count) {
+  const sim::Time t0 = now_;
   const std::size_t lines =
       (count * 4 + mem::kLineBytes - 1) / mem::kLineBytes;
   for (std::size_t l = 0; l < lines; ++l) {
     const auto a = agent_->cpu_read_line(now_, base + l * mem::kLineBytes);
     if (a.ready > now_) now_ = a.ready;
   }
+  causal_note(obs::causal::Category::kDemandFetch, t0);
   std::vector<float> out(count);
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = cpu_mem_.read_f32(base + i * 4);

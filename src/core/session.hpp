@@ -35,6 +35,7 @@
 #include "mc/hb_analyzer.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/span.hpp"
@@ -128,6 +129,15 @@ struct SessionConfig {
   std::string obs_trace_path;
   /// Print a per-step TextTable of registry deltas to stdout.
   bool obs_step_log = false;
+  /// Record the causal event DAG and per-step critical-path attribution
+  /// (`obs.critpath.*` counters, Session::step_attribution()). A no-op
+  /// under TECO_OBS=OFF builds.
+  bool obs_causal = false;
+  /// Causal-DAG node bound; nodes past it are dropped (and counted in
+  /// the graph's dropped()), truncating — not corrupting — the path.
+  std::size_t obs_causal_max_nodes = obs::causal::CausalGraph::kDefaultMaxNodes;
+  /// TraceBuffer span cap; overflow is counted in obs.trace.dropped_spans.
+  std::size_t obs_trace_max_spans = obs::TraceBuffer::kDefaultMaxSpans;
 };
 
 /// The tier::PlannerConfig a session's knobs describe (the giant-cache
@@ -257,6 +267,19 @@ class Session {
   /// Steps completed (optimizer_step_complete() calls).
   std::size_t steps_completed() const { return step_index_; }
 
+  /// The causal event DAG (null unless obs_causal is configured). Non-const
+  /// so harnesses can splice their own chains onto the session's.
+  obs::causal::CausalGraph* causal() { return causal_.get(); }
+  const obs::causal::CausalGraph* causal() const { return causal_.get(); }
+  /// Tail node of the session's causal chain (sim::kNoCausalNode before
+  /// any tracked time advancement).
+  std::uint32_t causal_tail() const { return causal_last_; }
+  /// Critical-path attribution of the most recently completed step (empty
+  /// segments before the first optimizer_step_complete()).
+  const obs::causal::Attribution& step_attribution() const {
+    return step_attr_;
+  }
+
  private:
   /// Shared bump-allocator body: validates the request, maps the region.
   mem::Addr allocate_region(const std::string& name, std::uint64_t bytes,
@@ -266,6 +289,9 @@ class Session {
   /// Fence wrapper shared by the two step hooks: advances the clock and
   /// charges step.fence_drain_us / a fence span for the drained window.
   sim::Time fence(const char* label);
+  /// Extend the causal chain with a node covering [from, now()]; no-op
+  /// when causal tracking is off or the clock did not move.
+  void causal_note(obs::causal::Category cat, sim::Time from);
 
   SessionConfig cfg_;
   sim::Trace trace_;
@@ -299,6 +325,14 @@ class Session {
   obs::Counter* m_step_total_ = nullptr;
   obs::Counter* m_step_overlap_ = nullptr;
   obs::Counter* m_step_fence_ = nullptr;
+  obs::Counter* m_dropped_spans_ = nullptr;
+  std::uint64_t dropped_spans_base_ = 0;
+  /// Causal DAG + chain tail (obs_causal only). Every clock advancement
+  /// appends a node, so a step's critical path partitions the step window.
+  std::unique_ptr<obs::causal::CausalGraph> causal_;
+  std::uint32_t causal_last_ = sim::kNoCausalNode;
+  obs::causal::Attribution step_attr_;
+  obs::Counter* m_critpath_[obs::causal::kNumCategories] = {};
   std::size_t step_index_ = 0;
   sim::Time step_begin_ = 0.0;
   sim::Time step_busy_base_ = 0.0;   ///< Link busy_time at step start.

@@ -90,6 +90,51 @@ void ChromeTraceComposer::add_counters(
   }
 }
 
+void ChromeTraceComposer::add_critical_path(
+    const obs::causal::Attribution& a, const std::string& process_name,
+    int pid) {
+  using obs::causal::Category;
+  using obs::causal::PathSegment;
+  name_process(pid, process_name);
+  const std::vector<PathSegment>& segs = a.segments;
+  for (const PathSegment& s : segs) {
+    const std::string lane =
+        std::string("critpath.") + obs::causal::to_string(s.cat);
+    const std::size_t tid = lane_tid(pid, lane);
+    std::ostringstream os;
+    os << R"({"name":")" << obs::causal::to_string(s.cat)
+       << R"(","cat":"critpath","ph":"X","pid":)" << pid << R"(,"tid":)"
+       << tid << R"(,"ts":)" << us(s.begin) << R"(,"dur":)"
+       << us(std::max(0.0, s.end - s.begin)) << "}";
+    events_.push_back(os.str());
+  }
+  // Flow arrows between consecutive non-idle hops: "s" binds inside the
+  // source slice at its end, "f" (bp:"e") inside the destination at its
+  // begin — adjacent segments share that instant, so the viewer draws the
+  // arrow across the lane hop.
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    if (segs[i].cat == Category::kIdle || segs[i + 1].cat == Category::kIdle) {
+      continue;
+    }
+    const std::uint64_t id = next_flow_id_++;
+    const std::size_t src_tid = lane_tid(
+        pid, std::string("critpath.") + obs::causal::to_string(segs[i].cat));
+    const std::size_t dst_tid =
+        lane_tid(pid, std::string("critpath.") +
+                          obs::causal::to_string(segs[i + 1].cat));
+    std::ostringstream os;
+    os << R"({"name":"critpath","cat":"critpath","ph":"s","id":)" << id
+       << R"(,"pid":)" << pid << R"(,"tid":)" << src_tid << R"(,"ts":)"
+       << us(segs[i].end) << "}";
+    events_.push_back(os.str());
+    os.str({});
+    os << R"({"name":"critpath","cat":"critpath","ph":"f","bp":"e","id":)"
+       << id << R"(,"pid":)" << pid << R"(,"tid":)" << dst_tid << R"(,"ts":)"
+       << us(segs[i + 1].begin) << "}";
+    events_.push_back(os.str());
+  }
+}
+
 std::string ChromeTraceComposer::json() const {
   std::ostringstream os;
   os << "[\n";

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/gantt.hpp"
+#include "obs/causal.hpp"
 #include "obs/span.hpp"
 #include "sim/time.hpp"
 
@@ -45,6 +46,14 @@ class ChromeTraceComposer {
   /// Add one "C" counter track per series under process `pid`.
   void add_counters(const std::vector<CounterSeries>& counters, int pid = 1);
 
+  /// Add an extracted critical path (obs::causal::critical_path): one "X"
+  /// slice per path segment on a per-category lane, plus Perfetto flow
+  /// arrows ("s"/"f" with bp:"e") splicing consecutive segments so the
+  /// viewer draws the path hopping across category rows. Idle gap-fill
+  /// segments render as slices but do not carry arrows.
+  void add_critical_path(const obs::causal::Attribution& a,
+                         const std::string& process_name, int pid = 3);
+
   std::size_t events() const { return events_.size(); }
 
   /// The composed trace_event JSON array.
@@ -61,6 +70,7 @@ class ChromeTraceComposer {
   std::vector<std::string> events_;  ///< Pre-rendered JSON objects.
   std::vector<std::pair<int, std::string>> lanes_;  ///< (pid, lane) -> tid.
   std::vector<int> named_pids_;
+  std::uint64_t next_flow_id_ = 1;  ///< Shared id per "s"/"f" arrow pair.
 };
 
 /// One-chart convenience used by the existing examples/benches: `g` (plus

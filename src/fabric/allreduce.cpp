@@ -194,6 +194,35 @@ AllReduceReport PoolAllReduce::run_step() {
   r.from_pool_bytes = fp1.wire_bytes - fp0.wire_bytes;
   r.port_queue_time =
       (tp1.queue_time - tp0.queue_time) + (fp1.queue_time - fp0.queue_time);
+  if (causal_ != nullptr) {
+    // Phase chain over [started, broadcast_done]: the tail of each phase
+    // window is re-attributed to switch queueing, the head to link
+    // occupancy / the reduction. Port queue_time sums every packet's wait
+    // across N concurrent streams, so the per-stream average — not the
+    // aggregate — approximates the critical stream's queueing; it is
+    // clamped to the phase window so the chain stays a partition.
+    using obs::causal::Category;
+    const double streams = static_cast<double>(cfg_.nodes);
+    const sim::Time q_up =
+        std::min((tp1.queue_time - tp0.queue_time) / streams,
+                 r.push_done - r.started);
+    const sim::Time q_down =
+        std::min((fp1.queue_time - fp0.queue_time) / streams,
+                 r.broadcast_done - r.reduce_done);
+    std::uint32_t tail = causal_tail_;
+    const auto note = [&](Category cat, sim::Time from, sim::Time to) {
+      if (to > from) tail = causal_->add(cat, to, tail, from);
+    };
+    note(Category::kCxlUp, r.started, r.push_done - q_up);
+    note(Category::kSwitchQueue, r.push_done - q_up, r.push_done);
+    note(Category::kPoolReduce, r.push_done, r.reduce_done);
+    note(Category::kCxlDown, r.reduce_done, r.broadcast_done - q_down);
+    note(Category::kSwitchQueue, r.broadcast_done - q_down, r.broadcast_done);
+    causal_tail_ = tail;
+    r.causal_tail = tail;
+    r.attribution =
+        obs::causal::critical_path(*causal_, r.started, r.broadcast_done, tail);
+  }
   m_steps_->add();
   m_up_bytes_->add(static_cast<double>(r.to_pool_bytes));
   m_down_bytes_->add(static_cast<double>(r.from_pool_bytes));
@@ -203,11 +232,11 @@ AllReduceReport PoolAllReduce::run_step() {
 
 void PoolAllReduce::pump_streams(sim::Time start,
                                  const std::vector<std::uint32_t>& nodes,
-                                 StreamOp op) {
+                                 StreamOp op, std::uint8_t tag) {
   const std::uint64_t lines = cfg_.shard_bytes / mem::kLineBytes;
   auto pump =
       std::make_shared<std::function<void(std::uint32_t, std::uint64_t)>>();
-  *pump = [this, op, lines, pump](std::uint32_t n, std::uint64_t line) {
+  *pump = [this, op, lines, pump, tag](std::uint32_t n, std::uint64_t line) {
     shard_.assert_held();
     const sim::Time now = eq_.now();
     const auto d = (this->*op)(n, line, now);
@@ -216,8 +245,10 @@ void PoolAllReduce::pump_streams(sim::Time start,
     // which interleaves the N streams at the shared port naturally.
     sim::Time next = now;
     if (d.has_value() && d->accepted > next) next = d->accepted;
+    sim::TagScope ts(eq_, tag);
     eq_.schedule_at(next, [pump, n, line] { (*pump)(n, line + 1); });
   };
+  sim::TagScope ts(eq_, tag);
   for (const std::uint32_t n : nodes) {
     eq_.schedule_at(start, [pump, n] { (*pump)(n, 0); });
   }
@@ -260,7 +291,8 @@ void PoolAllReduce::run_dba_merge(AllReduceReport& r) {
   // Reset the merge watchdog before the push phase rewrites the staged
   // windows it recomputes against.
   reduce_->begin_step();
-  pump_streams(eq_.now(), all, &PoolAllReduce::op_push);
+  pump_streams(eq_.now(), all, &PoolAllReduce::op_push,
+               obs::causal::tag(obs::causal::Category::kCxlUp));
   r.push_done = fence_all();
   check_fabric("push");
 
@@ -277,7 +309,8 @@ void PoolAllReduce::run_dba_merge(AllReduceReport& r) {
   r.reduce_done = t;
   check_fabric("reduce");
 
-  pump_streams(t, all, &PoolAllReduce::op_broadcast);
+  pump_streams(t, all, &PoolAllReduce::op_broadcast,
+               obs::causal::tag(obs::causal::Category::kCxlDown));
   r.broadcast_done = fence_all();
   check_fabric("broadcast");
 }
@@ -287,7 +320,8 @@ void PoolAllReduce::run_pool_staging(AllReduceReport& r) {
   std::vector<std::uint32_t> all(cfg_.nodes);
   for (std::uint32_t i = 0; i < cfg_.nodes; ++i) all[i] = i;
 
-  pump_streams(eq_.now(), all, &PoolAllReduce::op_push);
+  pump_streams(eq_.now(), all, &PoolAllReduce::op_push,
+               obs::causal::tag(obs::causal::Category::kCxlUp));
   r.push_done = fence_all();
   check_fabric("push");
 
@@ -337,7 +371,8 @@ void PoolAllReduce::run_pool_staging(AllReduceReport& r) {
   std::vector<std::uint32_t> others;
   for (std::uint32_t n = 1; n < cfg_.nodes; ++n) others.push_back(n);
   if (!others.empty()) {
-    pump_streams(t, others, &PoolAllReduce::op_broadcast);
+    pump_streams(t, others, &PoolAllReduce::op_broadcast,
+                 obs::causal::tag(obs::causal::Category::kCxlDown));
   }
   r.broadcast_done = fence_all();
   check_fabric("broadcast");

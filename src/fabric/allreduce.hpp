@@ -32,6 +32,7 @@
 #include "fabric/fabric.hpp"
 #include "fabric/pool.hpp"
 #include "fabric/switch.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
@@ -115,6 +116,13 @@ struct AllReduceReport {
   std::uint64_t to_pool_bytes = 0;    ///< Shared-port bytes this step.
   std::uint64_t from_pool_bytes = 0;
   sim::Time port_queue_time = 0.0;    ///< Switch queueing added this step.
+
+  /// Tail of the step's causal chain and the critical-path attribution over
+  /// [started, broadcast_done] (populated when set_causal() wired a graph):
+  /// push occupancy lands in cxl_up, switch queueing in switch_queue, the
+  /// reduction in pool_reduce and the result fan-out in cxl_down.
+  std::uint32_t causal_tail = sim::kNoCausalNode;
+  obs::causal::Attribution attribution;
 };
 
 class PoolAllReduce {
@@ -146,6 +154,17 @@ class PoolAllReduce {
     return step_;
   }
 
+  /// Wire the causal DAG (must outlive the collective; nullptr = off): the
+  /// graph becomes the event queue's provenance sink — every self-paced
+  /// line-stream event is tagged with its phase's category — and each
+  /// run_step() appends a phase chain whose critical-path attribution over
+  /// the step interval lands in AllReduceReport::attribution.
+  void set_causal(obs::causal::CausalGraph* g) {
+    shard_.assert_held();
+    causal_ = g;
+    eq_.set_causal_sink(g);
+  }
+
  private:
   using StreamOp = std::optional<cxl::Delivery> (PoolAllReduce::*)(
       std::uint32_t node, std::uint64_t line, sim::Time now);
@@ -156,9 +175,10 @@ class PoolAllReduce {
 
   /// Run `op(node, line)` as a self-paced line stream per node, all nodes
   /// concurrently on the event queue (this is where port contention
-  /// happens); drains the queue before returning.
+  /// happens); drains the queue before returning. `tag` is the causal
+  /// category every stream event of this phase is stamped with.
   void pump_streams(sim::Time start, const std::vector<std::uint32_t>& nodes,
-                    StreamOp op) TECO_REQUIRES(shard_);
+                    StreamOp op, std::uint8_t tag) TECO_REQUIRES(shard_);
 
   std::optional<cxl::Delivery> op_push(std::uint32_t node, std::uint64_t line,
                                        sim::Time now) TECO_REQUIRES(shard_);
@@ -184,6 +204,8 @@ class PoolAllReduce {
   std::unique_ptr<ReduceUnit> reduce_ TECO_SHARD_AFFINE(shard_);
   std::vector<std::unique_ptr<FabricNode>> nodes_ TECO_SHARD_AFFINE(shard_);
   std::uint64_t step_ TECO_SHARD_AFFINE(shard_) = 0;
+  obs::causal::CausalGraph* causal_ TECO_SHARD_AFFINE(shard_) = nullptr;
+  std::uint32_t causal_tail_ TECO_SHARD_AFFINE(shard_) = sim::kNoCausalNode;
   obs::Counter* m_steps_ = nullptr;
   obs::Counter* m_up_bytes_ = nullptr;
   obs::Counter* m_down_bytes_ = nullptr;

@@ -1,0 +1,140 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace teco::obs::causal {
+
+const char* to_string(Category cat) {
+  switch (cat) {
+    case Category::kUnknown: return "unknown";
+    case Category::kCompute: return "compute";
+    case Category::kCxlUp: return "cxl_up";
+    case Category::kCxlDown: return "cxl_down";
+    case Category::kSwitchQueue: return "switch_queue";
+    case Category::kFenceDrain: return "fence_drain";
+    case Category::kEvictStall: return "evict_stall";
+    case Category::kDemandFetch: return "demand_fetch";
+    case Category::kPoolReduce: return "pool_reduce";
+    case Category::kIdle: return "idle";
+  }
+  return "invalid";
+}
+
+const char* metric_suffix(Category cat) {
+  switch (cat) {
+    case Category::kUnknown: return "unknown_us";
+    case Category::kCompute: return "compute_us";
+    case Category::kCxlUp: return "cxl_up_us";
+    case Category::kCxlDown: return "cxl_down_us";
+    case Category::kSwitchQueue: return "switch_queue_us";
+    case Category::kFenceDrain: return "fence_drain_us";
+    case Category::kEvictStall: return "evict_stall_us";
+    case Category::kDemandFetch: return "demand_fetch_us";
+    case Category::kPoolReduce: return "pool_reduce_us";
+    case Category::kIdle: return "idle_us";
+  }
+  return "invalid_us";
+}
+
+bool Attribution::conserved(sim::Time tol) const {
+  if (end < begin) return false;
+  sim::Time cursor = begin;
+  for (const PathSegment& s : segments) {
+    if (std::abs(s.begin - cursor) > tol) return false;  // gap or overlap
+    if (s.end < s.begin) return false;
+    cursor = s.end;
+  }
+  if (std::abs(cursor - end) > tol) return false;
+  sim::Time sum = 0.0;
+  for (sim::Time t : by_category) sum += t;
+  return std::abs(sum - (end - begin)) <= tol * (1.0 + segments.size());
+}
+
+std::string Attribution::why_slow(const std::string& title) const {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "why-slow: %s [%.3f us .. %.3f us] total %.3f us\n",
+                title.c_str(), begin / sim::kMicro, end / sim::kMicro,
+                total() / sim::kMicro);
+  std::string out = line;
+  std::array<std::size_t, kNumCategories> order{};
+  for (std::size_t i = 0; i < kNumCategories; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (by_category[a] != by_category[b]) {
+      return by_category[a] > by_category[b];
+    }
+    return a < b;  // deterministic tie-break on category value
+  });
+  const sim::Time tot = total();
+  for (std::size_t i : order) {
+    if (by_category[i] <= 0.0) continue;
+    std::snprintf(line, sizeof line, "  %-14s %14.3f us  %5.1f%%\n",
+                  to_string(static_cast<Category>(i)),
+                  by_category[i] / sim::kMicro,
+                  tot > 0.0 ? 100.0 * by_category[i] / tot : 0.0);
+    out += line;
+  }
+  std::size_t hops = 0;
+  for (const PathSegment& s : segments) {
+    if (s.node != sim::kNoCausalNode) ++hops;
+  }
+  std::snprintf(line, sizeof line, "  critical path: %zu hops, %zu segments\n",
+                hops, segments.size());
+  out += line;
+  return out;
+}
+
+Attribution critical_path(const CausalGraph& g, sim::Time begin,
+                          sim::Time end, std::uint32_t terminal,
+                          Category fill) {
+  Attribution a;
+  a.begin = begin;
+  a.end = end < begin ? begin : end;
+
+  // Walk the parent chain from the terminal backwards, claiming each
+  // hop's in-flight window [scheduled, when] down to `begin`. The cursor
+  // only moves backwards, so segments can never overlap; any span the
+  // chain does not cover (terminal earlier than `end`, truncated chain,
+  // zero-duration hops) is filled with `fill`.
+  std::vector<PathSegment> rev;
+  sim::Time cursor = a.end;
+  std::uint32_t cur = terminal < g.size() ? terminal : sim::kNoCausalNode;
+  if (cur != sim::kNoCausalNode && g.node(cur).when < cursor) {
+    rev.push_back({sim::kNoCausalNode, fill, g.node(cur).when, cursor});
+    cursor = std::max(begin, g.node(cur).when);
+    if (rev.back().begin < begin) rev.back().begin = begin;
+  }
+  while (cur != sim::kNoCausalNode && cursor > begin) {
+    const Node& n = g.node(cur);
+    sim::Time start = std::max(begin, n.scheduled);
+    if (start < cursor) {
+      rev.push_back({cur, n.cat, start, cursor});
+      cursor = start;
+    }
+    cur = n.parent < g.size() ? n.parent : sim::kNoCausalNode;
+  }
+  if (cursor > begin) {
+    rev.push_back({sim::kNoCausalNode, fill, begin, cursor});
+  }
+
+  a.segments.assign(rev.rbegin(), rev.rend());
+  for (const PathSegment& s : a.segments) {
+    a.by_category[static_cast<std::size_t>(s.cat)] += s.end - s.begin;
+  }
+
+  // Hard conservation check, same spirit as the checker's flit
+  // conservation: the attribution must account for the interval exactly.
+  if (!a.conserved()) {
+    std::fprintf(stderr,
+                 "obs::causal: conservation violated for [%.9f, %.9f] "
+                 "(%zu segments, terminal %u)\n",
+                 begin, end, a.segments.size(), terminal);
+    std::abort();
+  }
+  return a;
+}
+
+}  // namespace teco::obs::causal

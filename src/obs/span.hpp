@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,8 +36,18 @@ struct SpanEvent {
 
 class TraceBuffer {
  public:
+  /// Default span cap. Long runs (bench_serve_slo sweeps) emit spans per
+  /// request iteration; the cap bounds memory, and overflow is counted in
+  /// dropped() (surfaced as `obs.trace.dropped_spans` by core::Session)
+  /// instead of growing silently.
+  static constexpr std::size_t kDefaultMaxSpans = std::size_t{1} << 20;
+
   void emit(std::string lane, std::string name, sim::Time begin,
             sim::Time end) {
+    if (events_.size() >= max_spans_) {
+      ++dropped_;
+      return;
+    }
     events_.push_back(
         {std::move(lane), std::move(name), begin, begin > end ? begin : end});
   }
@@ -44,10 +55,20 @@ class TraceBuffer {
   const std::vector<SpanEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Spans rejected because the cap was hit (earliest spans win).
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t max_spans() const { return max_spans_; }
+  void set_max_spans(std::size_t cap) { max_spans_ = cap; }
 
  private:
   std::vector<SpanEvent> events_;
+  std::size_t max_spans_ = kDefaultMaxSpans;
+  std::uint64_t dropped_ = 0;
 };
 
 /// RAII interval. Exactly one of close(end) / the clock pointer supplies

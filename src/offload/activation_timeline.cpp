@@ -52,6 +52,7 @@ ActivationStepReport simulate_activation_step(
   tier::MigrationScheduler sched(r.profile, r.plan, cal, opts.observer);
   sched.set_metrics(opts.metrics);
   sched.set_trace(opts.spans);
+  sched.set_causal(opts.causal);
   sched.set_slot_hook([&](bool backward, std::uint32_t /*layer*/,
                           sim::Time /*start*/, sim::Time end) {
     if (!backward) return;
@@ -89,6 +90,27 @@ ActivationStepReport simulate_activation_step(
                  r.param_transfer_exposed;
   r.bytes_to_cpu = up.stats().payload_bytes;
   r.bytes_to_device = down.stats().payload_bytes;
+
+  if (opts.causal != nullptr) {
+    // Splice the serialized phases onto the scheduler's per-slot chain:
+    // the exposed grad/param windows are the backward and optimizer
+    // CXLFENCE drains, the clip+Adam sweeps are CPU compute. The chain
+    // then covers [0, step_total] gaplessly, so the extracted path's
+    // category sums reconcile with the step end-to-end (hard-checked).
+    std::uint32_t tail = r.sched.causal_tail;
+    const auto note = [&](obs::causal::Category cat, sim::Time from,
+                          sim::Time to) {
+      if (to > from) tail = opts.causal->add(cat, to, tail, from);
+    };
+    note(obs::causal::Category::kFenceDrain, r.forward_backward, grads_done);
+    note(obs::causal::Category::kCompute, grads_done, adam_start);
+    note(obs::causal::Category::kCompute, adam_start, opt_end);
+    note(obs::causal::Category::kFenceDrain, opt_end,
+         opt_end + r.param_transfer_exposed);
+    r.causal_tail = tail;
+    r.attribution =
+        obs::causal::critical_path(*opts.causal, 0.0, r.step_total, tail);
+  }
 
   if (opts.spans != nullptr) {
     // One span per Fig. 12 phase, on the same simulated clock the tier

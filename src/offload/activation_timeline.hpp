@@ -18,6 +18,7 @@
 
 #include "check/tier_checker.hpp"
 #include "dl/model_zoo.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/span.hpp"
@@ -48,6 +49,13 @@ struct ActivationTimelineOptions {
   obs::TraceBuffer* spans = nullptr;
   obs::StepPublisher* publisher = nullptr;
   std::size_t step_index = 0;
+  /// Optional causal DAG: the migration scheduler's per-slot chain plus
+  /// one node per serialized step phase land here, and the report carries
+  /// the step's critical-path attribution (hard-conserved over
+  /// [0, step_total]). The exposed grad/param transfer windows are the
+  /// two CXLFENCE drains of the step model, so they attribute to
+  /// fence_drain; migration stalls attribute to demand_fetch/evict_stall.
+  obs::causal::CausalGraph* causal = nullptr;
 };
 
 struct ActivationStepReport {
@@ -69,6 +77,11 @@ struct ActivationStepReport {
 
   std::uint64_t bytes_to_cpu = 0;     ///< Wire volume up (grads+evictions).
   std::uint64_t bytes_to_device = 0;  ///< Wire volume down (params+fetches).
+
+  /// Tail of the step's causal chain and its critical-path attribution
+  /// (only populated when ActivationTimelineOptions::causal is wired).
+  std::uint32_t causal_tail = sim::kNoCausalNode;
+  obs::causal::Attribution attribution;
 
   sim::Time stall_time() const { return sched.stall_time; }
   std::uint64_t migrated_bytes() const { return sched.migrated_bytes(); }

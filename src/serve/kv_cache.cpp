@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/address.hpp"
+#include "obs/causal.hpp"
 
 namespace teco::serve {
 
@@ -172,6 +173,10 @@ sim::Time KvCacheManager::ensure_resident(std::uint64_t id, sim::Time t,
     ++stats_.prefetches;
     c_prefetch_.add();
   }
+  // The residency flip is the page-in landing off the down link — tag it
+  // so a causal sink on the queue records why it ran.
+  sim::TagScope cat_scope(q_,
+                          obs::causal::tag(obs::causal::Category::kCxlDown));
   q_.schedule_at(d.delivered, [this, id, tag] {
     shard_.assert_held();
     auto fit = entries_.find(id);

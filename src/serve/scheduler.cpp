@@ -44,6 +44,12 @@ bool ServeScheduler::attains_slo(const ServeConfig& cfg, sim::Time ttft,
   return ttft <= cfg.slo_ttft && mean_tpot <= cfg.effective_slo_tpot();
 }
 
+void ServeScheduler::causal_note(obs::causal::Category cat, sim::Time from,
+                                 sim::Time to) {
+  if (causal_ == nullptr || to <= from) return;
+  causal_last_ = causal_->add(cat, to, causal_last_, from);
+}
+
 void ServeScheduler::drain_arrivals() {
   while (pending_.has_value() && pending_->arrival <= q_.now()) {
     const Request r = *pending_;
@@ -80,8 +86,10 @@ void ServeScheduler::prefill_iteration() {
   if (avail > t) {
     report_.kv_stall += avail - t;
     c_stall_us_.add((avail - t) * kSecToUs);
+    causal_note(obs::causal::Category::kEvictStall, t, avail);
   }
   const sim::Time end = avail + cfg_.cost.prefill_time(cfg_.model, tokens);
+  causal_note(obs::causal::Category::kCompute, avail, end);
   for (const std::uint64_t id : group) {
     Session& s = sessions_.at(id);
     s.prefill_end = end;
@@ -89,6 +97,9 @@ void ServeScheduler::prefill_iteration() {
     s.generated = 1;  // Prefill emits the request's first token.
     s.ttft = end - s.req.arrival;
     ttft_hist_.observe(s.ttft * kSecToUs);
+    if (causal_ != nullptr) {
+      ttft_records_.push_back({id, s.req.arrival, end, causal_last_});
+    }
     ++report_.tokens_generated;
     c_tokens_.add();
     kv_.append(id, static_cast<std::uint64_t>(s.req.prompt_tokens) * kvpt_,
@@ -125,6 +136,9 @@ void ServeScheduler::decode_iteration() {
   if (start > t) {
     report_.kv_stall += start - t;
     c_stall_us_.add((start - t) * kSecToUs);
+    causal_note(ready >= avail ? obs::causal::Category::kDemandFetch
+                               : obs::causal::Category::kEvictStall,
+                t, start);
   }
   // Lookahead paging, issued BEFORE this iteration's compute so the wire
   // works while the kernel runs: the sessions at positions [width,
@@ -145,6 +159,7 @@ void ServeScheduler::decode_iteration() {
     batch_kv += kv_.session_bytes(id) + kvpt_;
   }
   const sim::Time end = start + cfg_.cost.decode_time(cfg_.model, batch_kv);
+  causal_note(obs::causal::Category::kCompute, start, end);
   for (const std::uint64_t id : batch) {
     Session& s = sessions_.at(id);
     kv_.append(id, kvpt_, end);
@@ -220,6 +235,7 @@ ServeReport ServeScheduler::run() {
     drain_arrivals();
     if (waiting_.empty() && running_.empty()) {
       if (!pending_.has_value()) break;
+      causal_note(obs::causal::Category::kIdle, q_.now(), pending_->arrival);
       q_.run_until(pending_->arrival);  // Idle until the next arrival.
       continue;
     }

@@ -34,6 +34,7 @@
 
 #include "core/annotations.hpp"
 #include "cxl/link.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "serve/arrival.hpp"
 #include "serve/kv_cache.hpp"
@@ -73,6 +74,32 @@ class ServeScheduler {
     return report_;
   }
 
+  /// Wire the causal DAG (must outlive the scheduler; nullptr = off): the
+  /// graph becomes the queue's provenance sink, KV landings are tagged,
+  /// and every iteration appends stall/compute/idle nodes to an explicit
+  /// chain. Each prefill also records the request's TTFT terminal so
+  /// request latency can be attributed end-to-end.
+  void set_causal(obs::causal::CausalGraph* g) {
+    shard_.assert_held();
+    causal_ = g;
+    q_.set_causal_sink(g);
+  }
+
+  /// One record per prefilled request (causal wiring only): the TTFT
+  /// window [arrival, first token] and the chain node it ended on —
+  /// obs::causal::critical_path over it attributes the wait to earlier
+  /// iterations' compute, KV stalls, and idle gaps.
+  struct TtftRecord {
+    std::uint64_t id = 0;
+    sim::Time arrival = 0.0;
+    sim::Time first_token = 0.0;
+    std::uint32_t terminal = sim::kNoCausalNode;
+  };
+  const std::vector<TtftRecord>& ttft_records() const {
+    shard_.assert_held();
+    return ttft_records_;
+  }
+
  private:
   struct Session {
     Request req;
@@ -87,6 +114,9 @@ class ServeScheduler {
   void decode_iteration() TECO_REQUIRES(shard_);
   void complete(std::uint64_t id, sim::Time t) TECO_REQUIRES(shard_);
   void finalize() TECO_REQUIRES(shard_);
+  /// Append a [from, to] node to the iteration chain (no-op unwired).
+  void causal_note(obs::causal::Category cat, sim::Time from, sim::Time to)
+      TECO_REQUIRES(shard_);
 
   ServeConfig cfg_;
   std::uint64_t kvpt_;  ///< kv_bytes_per_token(cfg_.model).
@@ -104,6 +134,9 @@ class ServeScheduler {
   std::deque<std::uint64_t> running_ TECO_SHARD_AFFINE(shard_);
   std::optional<Request> pending_ TECO_SHARD_AFFINE(shard_);
   ServeReport report_ TECO_SHARD_AFFINE(shard_);
+  obs::causal::CausalGraph* causal_ TECO_SHARD_AFFINE(shard_) = nullptr;
+  std::uint32_t causal_last_ TECO_SHARD_AFFINE(shard_) = sim::kNoCausalNode;
+  std::vector<TtftRecord> ttft_records_ TECO_SHARD_AFFINE(shard_);
 
   obs::Hist& ttft_hist_;
   obs::Hist& tpot_hist_;

@@ -10,7 +10,15 @@ void EventQueue::schedule_at(Time when, Callback cb) {
     ++clamped_;
     when = now_;
   }
+#ifndef TECO_OBS_DISABLED
+  std::uint32_t node = kNoCausalNode;
+  if (causal_ != nullptr) {
+    node = causal_->on_schedule(cur_node_, cur_tag_, now_, when);
+  }
+  heap_.push(Entry{when, next_seq_++, std::move(cb), node});
+#else
   heap_.push(Entry{when, next_seq_++, std::move(cb)});
+#endif
 }
 
 bool EventQueue::step() {
@@ -22,7 +30,13 @@ bool EventQueue::step() {
   heap_.pop();
   now_ = e.when;
   ++executed_;
+#ifndef TECO_OBS_DISABLED
+  cur_node_ = e.node;
   e.cb();
+  cur_node_ = kNoCausalNode;
+#else
+  e.cb();
+#endif
   return true;
 }
 

@@ -27,6 +27,27 @@
 
 namespace teco::sim {
 
+/// Node id in a causal sink's id space. kNoCausalNode marks "no parent"
+/// (an event scheduled outside any callback) and "not tracked" (no sink
+/// attached, or the sink hit its node bound).
+inline constexpr std::uint32_t kNoCausalNode = 0xffffffffu;
+
+#ifndef TECO_OBS_DISABLED
+/// Provenance consumer for the causal event DAG (implemented by
+/// obs::causal::CausalGraph). Declared here, in the sim layer, because the
+/// queue records provenance but must not depend on obs. One call per
+/// schedule_at(): `parent` is the node of the event whose callback is
+/// executing, `tag` the active category tag (obs::causal::Category as
+/// uint8), `scheduled` = now(), `when` the (clamped) fire time. Returns
+/// the node id assigned to the new event, or kNoCausalNode to drop it.
+class CausalSink {
+ public:
+  virtual ~CausalSink() = default;
+  virtual std::uint32_t on_schedule(std::uint32_t parent, std::uint8_t tag,
+                                    Time scheduled, Time when) = 0;
+};
+#endif
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -80,11 +101,54 @@ class EventQueue {
     return clamped_;
   }
 
+#ifndef TECO_OBS_DISABLED
+  /// Attach / detach the provenance consumer. Null (the default) keeps
+  /// schedule_at on its bare path: one pointer test per schedule.
+  void set_causal_sink(CausalSink* sink) {
+    shard_.assert_held();
+    causal_ = sink;
+  }
+  CausalSink* causal_sink() const {
+    shard_.assert_held();
+    return causal_;
+  }
+
+  /// Node id of the event whose callback is currently executing
+  /// (kNoCausalNode between events). Components use this to splice
+  /// closed-form sub-chains onto the event-driven DAG.
+  std::uint32_t current_node() const {
+    shard_.assert_held();
+    return cur_node_;
+  }
+
+  /// Active category tag, captured into every node scheduled while set.
+  /// Prefer TagScope over calling this directly.
+  void set_current_tag(std::uint8_t tag) {
+    shard_.assert_held();
+    cur_tag_ = tag;
+  }
+  std::uint8_t current_tag() const {
+    shard_.assert_held();
+    return cur_tag_;
+  }
+#else
+  // TECO_OBS=OFF: provenance compiles out. The inline no-ops keep call
+  // sites ifdef-free; Entry carries no node field and schedule_at pays
+  // nothing.
+  void set_causal_sink(void*) {}
+  std::uint32_t current_node() const { return kNoCausalNode; }
+  void set_current_tag(std::uint8_t) {}
+  std::uint8_t current_tag() const { return 0; }
+#endif
+
  private:
   struct Entry {
     Time when;
     std::uint64_t seq;
     Callback cb;
+#ifndef TECO_OBS_DISABLED
+    std::uint32_t node;
+#endif
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -104,6 +168,29 @@ class EventQueue {
   std::uint64_t next_seq_ TECO_SHARD_AFFINE(shard_) = 0;
   std::uint64_t executed_ TECO_SHARD_AFFINE(shard_) = 0;
   std::uint64_t clamped_ TECO_SHARD_AFFINE(shard_) = 0;
+#ifndef TECO_OBS_DISABLED
+  CausalSink* causal_ TECO_SHARD_AFFINE(shard_) = nullptr;
+  std::uint32_t cur_node_ TECO_SHARD_AFFINE(shard_) = kNoCausalNode;
+  std::uint8_t cur_tag_ TECO_SHARD_AFFINE(shard_) = 0;
+#endif
+};
+
+/// RAII category tag: every event scheduled inside the scope is recorded
+/// with `tag` (an obs::causal::Category). Nests; restores the previous tag
+/// on exit. A no-op under TECO_OBS=OFF and when no sink is attached.
+class TagScope {
+ public:
+  TagScope(EventQueue& q, std::uint8_t tag)
+      : q_(q), prev_(q.current_tag()) {
+    q_.set_current_tag(tag);
+  }
+  TagScope(const TagScope&) = delete;
+  TagScope& operator=(const TagScope&) = delete;
+  ~TagScope() { q_.set_current_tag(prev_); }
+
+ private:
+  EventQueue& q_;
+  std::uint8_t prev_;
 };
 
 }  // namespace teco::sim

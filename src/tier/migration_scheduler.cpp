@@ -101,6 +101,12 @@ void MigrationScheduler::charge_stall(sim::Time from, sim::Time to) {
   if (trace_ != nullptr) trace_->emit("tier.stall", "stall", from, to);
 }
 
+void MigrationScheduler::causal_note(obs::causal::Category cat,
+                                     sim::Time from, sim::Time to) {
+  if (causal_ == nullptr || to <= from) return;
+  causal_tail_ = causal_->add(cat, to, causal_tail_, from);
+}
+
 sim::Time MigrationScheduler::issue_fetch(sim::Time t, std::uint32_t tensor) {
   auto& st = state_[tensor];
   const Tier home = plan_.home[tensor];
@@ -111,6 +117,9 @@ sim::Time MigrationScheduler::issue_fetch(sim::Time t, std::uint32_t tensor) {
   // Delivery flips residency on the queue, so slots after the landing see
   // the tensor in HBM without polling. The guard keeps a flip from firing
   // for a tensor that died (state reset) while the fetch was in flight.
+  // The flip is the fetch landing off the down link — tag it so the
+  // causal sink records why it ran.
+  sim::TagScope tag(*q_, obs::causal::tag(obs::causal::Category::kCxlDown));
   q_->schedule_at(end, [this, tensor, end] {
     auto& s = state_[tensor];
     if (!s.fetching || s.hbm_ready != end) return;
@@ -218,7 +227,10 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
       obs_->on_tier_access(t, p.id, p.resident, p.in_hbm, ready_all - t);
     }
   }
-  if (ready_all > t) charge_stall(t, ready_all);
+  if (ready_all > t) {
+    charge_stall(t, ready_all);
+    causal_note(obs::causal::Category::kDemandFetch, t, ready_all);
+  }
 
   // Retire the consumes; free dead activations, re-park gap tensors.
   for (const auto& p : pres) {
@@ -247,6 +259,8 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
       if (st.fetching) {
         // Let the in-flight fetch land first; the evict event is
         // scheduled after the delivery flip (same time, later sequence).
+        sim::TagScope tag(q,
+                          obs::causal::tag(obs::causal::Category::kEvictStall));
         q.schedule_at(std::max(ready_all, st.hbm_ready),
                       [this, &q, id = p.id] { evict(q.now(), id); });
       } else {
@@ -257,6 +271,7 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
 
   const sim::Time start = ready_all;
   sim::Time end = start + dur;
+  causal_note(obs::causal::Category::kCompute, start, end);
 
   // The hook fires before the produce-time evictions so its channel
   // submissions (the gradient stream) stay in nondecreasing time order
@@ -283,6 +298,7 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
         if (plan_.policy == Policy::kNaiveSwap && ev_end > end) {
           // Write-through: forward blocks until the line stream lands.
           charge_stall(end, ev_end);
+          causal_note(obs::causal::Category::kEvictStall, end, ev_end);
           end = ev_end;
         }
       }
@@ -294,6 +310,7 @@ void MigrationScheduler::exec_slot(sim::EventQueue& q, std::size_t g,
     res_.backward_end = end;
     return;
   }
+  sim::TagScope tag(q, obs::causal::tag(obs::causal::Category::kCompute));
   q.schedule_at(end, [this, &q, g] { exec_slot(q, g + 1, q.now()); });
 }
 
@@ -317,6 +334,8 @@ ScheduleResult MigrationScheduler::run(sim::EventQueue& q, cxl::Channel& up,
   down_ = &down;
   res_ = {};
   occ_bytes_ = {};
+  causal_tail_ = sim::kNoCausalNode;
+  if (causal_ != nullptr) q.set_causal_sink(causal_);
 
   // tier.* counters accumulate in the attached registry (or a private one,
   // so recording is branch-free either way); the run's share is the delta.
@@ -349,8 +368,13 @@ ScheduleResult MigrationScheduler::run(sim::EventQueue& q, cxl::Channel& up,
                  static_cast<std::int64_t>(rec.bytes));
     }
   }
-  q.schedule_at(t0, [this, &q] { exec_slot(q, 0, q.now()); });
+  {
+    sim::TagScope tag(q, obs::causal::tag(obs::causal::Category::kCompute));
+    q.schedule_at(t0, [this, &q] { exec_slot(q, 0, q.now()); });
+  }
   q.run();
+  if (causal_ != nullptr) q.set_causal_sink(nullptr);
+  res_.causal_tail = causal_tail_;
 
   // Stall-shifted deliveries can record occupancy slightly out of order;
   // normalize the series for renderers and exporters.

@@ -26,6 +26,7 @@
 
 #include "check/tier_checker.hpp"
 #include "cxl/channel.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "offload/calibration.hpp"
@@ -63,6 +64,11 @@ struct ScheduleResult {
   /// tier.evictions, tier.evict_bytes, tier.stall_us) — the scheduler's
   /// bespoke counter fields migrated onto the one instrumentation spine.
   std::vector<obs::Sample> metrics;
+  /// Tail of the scheduler's causal chain (stall -> compute -> evict
+  /// nodes per slot), sim::kNoCausalNode unless set_causal() was wired.
+  /// Callers splice follow-on phases (the activation timeline's optimizer
+  /// stages) onto it and extract the step's critical path from theirs.
+  std::uint32_t causal_tail = sim::kNoCausalNode;
 
   /// Value of a tier.* delta by full dotted name; 0.0 when absent.
   double metric(std::string_view name) const {
@@ -99,6 +105,13 @@ class MigrationScheduler {
 
   /// Emit tier.{fetch,evict}/tier.stall spans into `buf` (nullptr = off).
   void set_trace(obs::TraceBuffer* buf) { trace_ = buf; }
+
+  /// Record the run's causal chain into `g` (nullptr = off): the graph is
+  /// attached to the queue as its provenance sink for the duration of
+  /// run(), fetch/evict schedules are category-tagged, and every slot
+  /// appends stall/compute nodes to an explicit chain ending at
+  /// ScheduleResult::causal_tail.
+  void set_causal(obs::causal::CausalGraph* g) { causal_ = g; }
 
   /// Run the step to completion on `q`, submitting CXL migrations to
   /// `up` (device -> CPU: evictions) and `down` (CPU -> device:
@@ -153,10 +166,15 @@ class MigrationScheduler {
   };
   Handles resolve_handles(obs::MetricsRegistry& reg);
   void charge_stall(sim::Time from, sim::Time to);
+  /// Append a [from, to] node to the explicit chain (no-op when unwired
+  /// or zero-width).
+  void causal_note(obs::causal::Category cat, sim::Time from, sim::Time to);
 
   obs::MetricsRegistry* ext_reg_ = nullptr;
   obs::MetricsRegistry local_reg_;  ///< Used when no registry is attached.
   obs::TraceBuffer* trace_ = nullptr;
+  obs::causal::CausalGraph* causal_ = nullptr;
+  std::uint32_t causal_tail_ = sim::kNoCausalNode;
   Handles m_;
 
   sim::EventQueue* q_ = nullptr;

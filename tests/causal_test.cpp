@@ -1,0 +1,360 @@
+// obs::causal — provenance through sim::EventQueue, the bounded causal
+// DAG, critical-path extraction with its hard conservation guarantee, the
+// Perfetto flow-arrow export, and the end-to-end wiring: a core::Session
+// training step, a serve request's TTFT window, one fabric all-reduce and
+// the tiered activation timeline must all attribute their interval with
+// category sums that reconcile exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/trace_export.hpp"
+#include "fabric/allreduce.hpp"
+#include "obs/causal.hpp"
+#include "obs/span.hpp"
+#include "offload/activation_timeline.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace teco;
+using obs::causal::Attribution;
+using obs::causal::CausalGraph;
+using obs::causal::Category;
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+TEST(CausalGraph, ExplicitAndParentDerivedWindows) {
+  CausalGraph g;
+  const auto a = g.add(Category::kCompute, 2.0, sim::kNoCausalNode, 0.0);
+  const auto b = g.add(Category::kFenceDrain, 3.0, a);  // from = a.when.
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.node(a).parent, sim::kNoCausalNode);
+  EXPECT_DOUBLE_EQ(g.node(a).scheduled, 0.0);
+  EXPECT_DOUBLE_EQ(g.node(a).when, 2.0);
+  EXPECT_EQ(g.node(b).parent, a);
+  EXPECT_EQ(g.node(b).cat, Category::kFenceDrain);
+  EXPECT_DOUBLE_EQ(g.node(b).scheduled, 2.0);
+  EXPECT_DOUBLE_EQ(g.node(b).when, 3.0);
+}
+
+TEST(CausalGraph, BoundDropsNodesAndCounts) {
+  CausalGraph g(2);
+  EXPECT_NE(g.add(Category::kCompute, 1.0), sim::kNoCausalNode);
+  EXPECT_NE(g.add(Category::kCompute, 2.0), sim::kNoCausalNode);
+  EXPECT_EQ(g.add(Category::kCompute, 3.0), sim::kNoCausalNode);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.dropped(), 1u);
+  g.clear();
+  EXPECT_EQ(g.dropped(), 0u);
+  EXPECT_NE(g.add(Category::kCompute, 1.0), sim::kNoCausalNode);
+}
+
+#ifndef TECO_OBS_DISABLED
+TEST(CausalGraph, EventQueueRecordsParentAndTag) {
+  CausalGraph g;
+  sim::EventQueue q;
+  q.set_causal_sink(&g);
+  std::uint32_t inner = sim::kNoCausalNode;
+  {
+    sim::TagScope tag(q, obs::causal::tag(Category::kCxlUp));
+    q.schedule_at(1.0, [&] {
+      // The child event scheduled from inside a callback inherits the
+      // executing event's node as its parent, and the tag active *at
+      // schedule time*.
+      sim::TagScope inner_tag(q, obs::causal::tag(Category::kFenceDrain));
+      q.schedule_at(3.0, [] {});
+      inner = q.current_node();
+    });
+  }
+  q.run();
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(inner, 0u);  // The first scheduled event got node id 0.
+  EXPECT_EQ(g.node(0).parent, sim::kNoCausalNode);
+  EXPECT_EQ(g.node(0).cat, Category::kCxlUp);
+  EXPECT_DOUBLE_EQ(g.node(0).scheduled, 0.0);
+  EXPECT_DOUBLE_EQ(g.node(0).when, 1.0);
+  EXPECT_EQ(g.node(1).parent, 0u);
+  EXPECT_EQ(g.node(1).cat, Category::kFenceDrain);
+  EXPECT_DOUBLE_EQ(g.node(1).scheduled, 1.0);
+  EXPECT_DOUBLE_EQ(g.node(1).when, 3.0);
+}
+
+TEST(CausalGraph, TagScopeNestsAndRestores) {
+  sim::EventQueue q;
+  EXPECT_EQ(q.current_tag(), 0u);
+  {
+    sim::TagScope outer(q, obs::causal::tag(Category::kCxlDown));
+    EXPECT_EQ(q.current_tag(), obs::causal::tag(Category::kCxlDown));
+    {
+      sim::TagScope inner(q, obs::causal::tag(Category::kPoolReduce));
+      EXPECT_EQ(q.current_tag(), obs::causal::tag(Category::kPoolReduce));
+    }
+    EXPECT_EQ(q.current_tag(), obs::causal::tag(Category::kCxlDown));
+  }
+  EXPECT_EQ(q.current_tag(), 0u);
+}
+#endif  // TECO_OBS_DISABLED
+
+TEST(CriticalPath, BackWalkPartitionsIntervalWithIdleFill) {
+  CausalGraph g;
+  const auto a = g.add(Category::kCompute, 2.0, sim::kNoCausalNode, 0.0);
+  const auto b = g.add(Category::kFenceDrain, 4.0, a, 3.0);
+  const Attribution attr = obs::causal::critical_path(g, 0.0, 5.0, b);
+  ASSERT_EQ(attr.segments.size(), 3u);
+  // The fence hop claims its window [3,4]; the compute hop stretches to
+  // the fence's start (the chain was in flight); [4,5] past the terminal
+  // is idle fill.
+  EXPECT_EQ(attr.segments[0].cat, Category::kCompute);
+  EXPECT_DOUBLE_EQ(attr.segments[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(attr.segments[0].end, 3.0);
+  EXPECT_EQ(attr.segments[1].cat, Category::kFenceDrain);
+  EXPECT_DOUBLE_EQ(attr.segments[1].end, 4.0);
+  EXPECT_EQ(attr.segments[2].cat, Category::kIdle);
+  EXPECT_DOUBLE_EQ(attr.segments[2].end, 5.0);
+  EXPECT_DOUBLE_EQ(attr.of(Category::kCompute), 3.0);
+  EXPECT_DOUBLE_EQ(attr.of(Category::kFenceDrain), 1.0);
+  EXPECT_DOUBLE_EQ(attr.of(Category::kIdle), 1.0);
+  EXPECT_TRUE(attr.conserved());
+}
+
+TEST(CriticalPath, NoTerminalFillsWholeInterval) {
+  CausalGraph g;
+  const Attribution attr =
+      obs::causal::critical_path(g, 1.0, 4.0, sim::kNoCausalNode);
+  ASSERT_EQ(attr.segments.size(), 1u);
+  EXPECT_EQ(attr.segments[0].cat, Category::kIdle);
+  EXPECT_DOUBLE_EQ(attr.of(Category::kIdle), 3.0);
+  EXPECT_TRUE(attr.conserved());
+}
+
+TEST(CriticalPath, WhySlowReportsSortedShares) {
+  CausalGraph g;
+  const auto a = g.add(Category::kCxlUp, 3.0, sim::kNoCausalNode, 0.0);
+  const auto b = g.add(Category::kCompute, 4.0, a, 3.0);
+  const Attribution attr = obs::causal::critical_path(g, 0.0, 4.0, b);
+  const std::string r = attr.why_slow("unit");
+  EXPECT_NE(r.find("why-slow: unit"), std::string::npos);
+  EXPECT_NE(r.find("total 4000000.000 us"), std::string::npos);
+  // cxl_up (75%) sorts above compute (25%).
+  EXPECT_LT(r.find("cxl_up"), r.find("compute"));
+  EXPECT_NE(r.find("75.0%"), std::string::npos);
+  EXPECT_NE(r.find("critical path: 2 hops, 2 segments"), std::string::npos);
+}
+
+TEST(TraceBuffer, SpanCapDropsAndCounts) {
+  obs::TraceBuffer buf;
+  EXPECT_EQ(buf.max_spans(), obs::TraceBuffer::kDefaultMaxSpans);
+  buf.set_max_spans(2);
+  buf.emit("l", "a", 0.0, 1.0);
+  buf.emit("l", "b", 1.0, 2.0);
+  buf.emit("l", "c", 2.0, 3.0);  // Past the cap: dropped, counted.
+  EXPECT_EQ(buf.events().size(), 2u);
+  EXPECT_EQ(buf.dropped(), 1u);
+  buf.clear();
+  EXPECT_EQ(buf.dropped(), 0u);
+  buf.emit("l", "d", 0.0, 1.0);
+  EXPECT_EQ(buf.events().size(), 1u);
+}
+
+TEST(ChromeTrace, CriticalPathFlowEventsGoldenJson) {
+  CausalGraph g;
+  const auto a =
+      g.add(Category::kCompute, sim::us(1.0), sim::kNoCausalNode, 0.0);
+  const auto b = g.add(Category::kCxlUp, sim::us(2.0), a, sim::us(1.0));
+  const Attribution attr =
+      obs::causal::critical_path(g, 0.0, sim::us(3.0), b);
+  core::ChromeTraceComposer c;
+  c.add_critical_path(attr, "cp", /*pid=*/3);
+  // Exact golden: three category lanes with their slices, then ONE flow
+  // pair (compute -> cxl_up; arrows never chain into idle fill). "s"
+  // binds at the source slice end, "f" (bp:"e") at the destination begin
+  // — the same instant, since path segments are adjacent by construction.
+  const std::string golden = R"([
+{"name":"process_name","ph":"M","pid":3,"tid":0,"args":{"name":"cp"}},
+{"name":"thread_name","ph":"M","pid":3,"tid":1,"args":{"name":"critpath.compute"}},
+{"name":"thread_sort_index","ph":"M","pid":3,"tid":1,"args":{"sort_index":1}},
+{"name":"compute","cat":"critpath","ph":"X","pid":3,"tid":1,"ts":0.000,"dur":1.000},
+{"name":"thread_name","ph":"M","pid":3,"tid":2,"args":{"name":"critpath.cxl_up"}},
+{"name":"thread_sort_index","ph":"M","pid":3,"tid":2,"args":{"sort_index":2}},
+{"name":"cxl_up","cat":"critpath","ph":"X","pid":3,"tid":2,"ts":1.000,"dur":1.000},
+{"name":"thread_name","ph":"M","pid":3,"tid":3,"args":{"name":"critpath.idle"}},
+{"name":"thread_sort_index","ph":"M","pid":3,"tid":3,"args":{"sort_index":3}},
+{"name":"idle","cat":"critpath","ph":"X","pid":3,"tid":3,"ts":2.000,"dur":1.000},
+{"name":"critpath","cat":"critpath","ph":"s","id":1,"pid":3,"tid":1,"ts":1.000},
+{"name":"critpath","cat":"critpath","ph":"f","bp":"e","id":1,"pid":3,"tid":2,"ts":1.000}
+]
+)";
+  EXPECT_EQ(c.json(), golden);
+}
+
+core::SessionConfig causal_session_config() {
+  core::SessionConfig cfg;
+  cfg.protocol = coherence::Protocol::kUpdate;
+  cfg.dba_enabled = true;
+  cfg.act_aft_steps = 2;
+  cfg.dirty_bytes = 2;
+  cfg.obs_causal = true;
+  return cfg;
+}
+
+// Both SessionCausal tests read obs-backed state (the session's causal
+// graph and registry counters), all of which compiles out under
+// -DTECO_OBS=OFF.
+#ifndef TECO_OBS_DISABLED
+TEST(SessionCausal, TrainingStepAttributionConserves) {
+  core::Session s(causal_session_config());
+  ASSERT_NE(s.causal(), nullptr);
+  const auto params = s.allocate_parameters("w", 4096);
+  const auto grads = s.allocate_gradients("g", 4096);
+  std::vector<float> p(1024, 1.0f), g(1024, 0.5f);
+  s.device_write_gradients(grads, g);
+  s.advance(sim::us(50.0));  // A compute block inside the step.
+  s.backward_complete();
+  s.cpu_write_parameters(params, p);
+  s.optimizer_step_complete();
+
+  const Attribution& attr = s.step_attribution();
+  EXPECT_TRUE(attr.conserved());
+  // First step: the attribution covers [0, now] — the whole step.
+  EXPECT_DOUBLE_EQ(attr.begin, 0.0);
+  EXPECT_DOUBLE_EQ(attr.end, s.now());
+  EXPECT_NE(s.causal_tail(), sim::kNoCausalNode);
+  EXPECT_GT(attr.of(Category::kCompute), 0.0);  // The advance() block.
+  // Both fences drained real traffic: link occupancy must be on the path.
+  EXPECT_GT(attr.of(Category::kCxlUp) + attr.of(Category::kCxlDown), 0.0);
+  // The obs.critpath.* counters carry the same split in microseconds.
+  double sum_us = 0.0;
+  for (std::size_t i = 0; i < obs::causal::kNumCategories; ++i) {
+    sum_us += s.metrics().value(
+        std::string("obs.critpath.") +
+        obs::causal::metric_suffix(static_cast<Category>(i)));
+  }
+  EXPECT_NEAR(sum_us, s.now() * 1e6, 1e-6);
+}
+
+TEST(SessionCausal, TraceBufferCapCountsDroppedSpans) {
+  auto cfg = causal_session_config();
+  cfg.obs_trace_max_spans = 1;  // First span only; the rest are dropped.
+  core::Session s(cfg);
+  const auto params = s.allocate_parameters("w", 4096);
+  s.cpu_write_parameters(params, std::vector<float>(1024, 1.0f));
+  s.optimizer_step_complete();
+  EXPECT_GT(s.metrics().value("obs.trace.dropped_spans"), 0.0);
+}
+#endif  // TECO_OBS_DISABLED
+
+serve::ServeConfig causal_serve_config() {
+  serve::ServeConfig cfg;
+  cfg.n_requests = 40;
+  cfg.rate_rps = 200.0;
+  cfg.seed = 3;
+  cfg.max_batch = 8;
+  cfg.hbm_kv_bytes = 24 * kMiB;  // Tight: forces paging stalls.
+  return cfg;
+}
+
+TEST(ServeCausal, TtftWindowsConserve) {
+  CausalGraph g;
+  serve::ServeScheduler sched(causal_serve_config());
+  sched.set_causal(&g);
+  const auto report = sched.run();
+  ASSERT_GT(report.completed, 0u);
+  ASSERT_FALSE(sched.ttft_records().empty());
+  for (const auto& rec : sched.ttft_records()) {
+    const Attribution attr =
+        obs::causal::critical_path(g, rec.arrival, rec.first_token,
+                                   rec.terminal);
+    EXPECT_TRUE(attr.conserved());
+    EXPECT_DOUBLE_EQ(attr.total(), rec.first_token - rec.arrival);
+    // Every request's first token sits behind at least some prefill
+    // compute on its critical path.
+    EXPECT_GT(attr.of(Category::kCompute), 0.0);
+  }
+}
+
+TEST(ServeCausal, SeededDoubleRunIsBitIdentical) {
+  CausalGraph g1, g2;
+  {
+    serve::ServeScheduler s1(causal_serve_config());
+    s1.set_causal(&g1);
+    s1.run();
+  }
+  {
+    serve::ServeScheduler s2(causal_serve_config());
+    s2.set_causal(&g2);
+    s2.run();
+  }
+  ASSERT_GT(g1.size(), 0u);
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::uint32_t i = 0; i < g1.size(); ++i) {
+    const auto& a = g1.node(i);
+    const auto& b = g2.node(i);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.cat, b.cat);
+    // Bitwise, not approximate: the DAG rides the (time, seq) FIFO
+    // contract, so replay must reproduce every timestamp exactly.
+    EXPECT_EQ(a.scheduled, b.scheduled);
+    EXPECT_EQ(a.when, b.when);
+  }
+}
+
+TEST(FabricCausal, AllReduceAttributionConserves) {
+  fabric::FabricConfig cfg;
+  cfg.nodes = 3;
+  cfg.reduce = fabric::ReduceStrategy::kDbaMerge;
+  cfg.shard_bytes = 512;
+  cfg.pool_bytes = 1ull << 20;
+  fabric::PoolAllReduce ar(cfg);
+  CausalGraph g;
+  ar.set_causal(&g);
+  sim::Rng rng(7);
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    std::vector<float> shard(ar.shard_floats());
+    for (auto& v : shard) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    ar.set_node_gradients(n, shard);
+  }
+  for (int step = 0; step < 2; ++step) {
+    const auto r = ar.run_step();
+    EXPECT_TRUE(r.attribution.conserved());
+    EXPECT_DOUBLE_EQ(r.attribution.total(), r.wall());
+    EXPECT_NE(r.causal_tail, sim::kNoCausalNode);
+    // The near-memory reduction is always a distinct phase on the path.
+    EXPECT_GT(r.attribution.of(Category::kPoolReduce), 0.0);
+    // Push + broadcast occupancy (plus any switch queueing) covers the
+    // rest of the wall time.
+    EXPECT_GT(r.attribution.of(Category::kCxlUp), 0.0);
+    EXPECT_GT(r.attribution.of(Category::kCxlDown), 0.0);
+  }
+  EXPECT_GT(g.size(), 0u);  // Stream events carried provenance too.
+}
+
+TEST(TimelineCausal, ActivationStepAttributionConserves) {
+  CausalGraph g;
+  const auto& cal = offload::default_calibration();
+  auto model = dl::gpt2();
+  model.seq_len = 4096;
+  offload::ActivationTimelineOptions opts;
+  opts.policy = tier::Policy::kMinStall;
+  opts.hbm_bytes = 16ull << 30;
+  opts.giant_cache_bytes = 4ull << 30;
+  opts.causal = &g;
+  const auto r = offload::simulate_activation_step(model, 8, cal, opts);
+  EXPECT_TRUE(r.attribution.conserved());
+  EXPECT_DOUBLE_EQ(r.attribution.total(), r.step_total);
+  EXPECT_NE(r.causal_tail, sim::kNoCausalNode);
+  EXPECT_GT(r.attribution.of(Category::kCompute), 0.0);
+  // 16 GiB is past-OOM for seq 4096: migration stalls must be on the path,
+  // and the DBA-on parameter stream still leaves a fence-drain residue.
+  EXPECT_GT(r.attribution.of(Category::kDemandFetch) +
+                r.attribution.of(Category::kEvictStall),
+            0.0);
+  EXPECT_GT(r.attribution.of(Category::kFenceDrain), 0.0);
+}
+
+}  // namespace

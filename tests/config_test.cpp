@@ -167,6 +167,28 @@ TEST(ConfigParser, RoundTripsThroughSerializer) {
             std::string::npos);
 }
 
+TEST(ConfigParser, CausalKeysParseAndRoundTrip) {
+  const auto parsed = core::parse_config(
+      "obs_causal           = on\n"
+      "obs_causal_max_nodes = 4096\n"
+      "obs_trace_max_spans  = 128\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.unknown_keys.empty());
+  EXPECT_TRUE(parsed.session.obs_causal);
+  EXPECT_EQ(parsed.session.obs_causal_max_nodes, 4096u);
+  EXPECT_EQ(parsed.session.obs_trace_max_spans, 128u);
+
+  const auto again = core::parse_config(core::to_config_text(parsed.session));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.session.obs_causal);
+  EXPECT_EQ(again.session.obs_causal_max_nodes, 4096u);
+  EXPECT_EQ(again.session.obs_trace_max_spans, 128u);
+
+  EXPECT_FALSE(core::parse_config("obs_causal = maybe").ok());
+  EXPECT_FALSE(core::parse_config("obs_causal_max_nodes = 0").ok());
+  EXPECT_FALSE(core::parse_config("obs_causal_max_nodes = -4").ok());
+}
+
 TEST(ConfigParser, ServeKeysParseAndRoundTrip) {
   const auto parsed = core::parse_config(
       "serve_arrival  = bursty\n"
