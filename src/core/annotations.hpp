@@ -61,6 +61,25 @@
 /// without re-annotating every field.
 #define TECO_SHARD_AFFINE(cap) TECO_GUARDED_BY(cap)
 
+/// Queue-context marker: this class owns (or drives the run loop of) a
+/// sim::EventQueue, making it the root of one future shard's event domain.
+/// Place it in the class body, naming the queue member it anchors:
+///
+///   class ServeScheduler {
+///     ...
+///     sim::EventQueue q_;
+///     TECO_QUEUE_CONTEXT(q_);
+///   };
+///
+/// Compile-time it is inert (a satisfied static_assert so the trailing
+/// semicolon is well-formed at class scope); teco-lint's whole-src pass
+/// reads it as a declaration: every queue lambda reachable from this class
+/// belongs to this context, and the cross-shard rule proves that no
+/// shard-affine class is reachable from two contexts except through
+/// cxl::event_channel message passing (see docs/STATIC_ANALYSIS.md).
+#define TECO_QUEUE_CONTEXT(queue_member) \
+  static_assert(true, "teco-lint queue-context marker")
+
 namespace teco::core {
 
 /// The per-shard execution capability. One instance lives inside each

@@ -197,6 +197,9 @@ class PoolAllReduce {
   obs::MetricsRegistry metrics_;  ///< First member: outlives every recorder.
   core::ShardCapability shard_;
   sim::EventQueue eq_;
+  /// The all-reduce owns its queue: gather/fold/commit pump lambdas and
+  /// switch deliveries all run on this shard.
+  TECO_QUEUE_CONTEXT(eq_);
   PooledMemory pool_;
   CxlSwitch switch_;
   std::vector<mem::Region> contributions_ TECO_SHARD_AFFINE(shard_);

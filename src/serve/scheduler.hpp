@@ -125,6 +125,9 @@ class ServeScheduler {
   core::ShardCapability shard_;
 
   sim::EventQueue q_;
+  /// The serve engine owns its queue outright: every arrival, decode step,
+  /// and KV migration event runs on this shard.
+  TECO_QUEUE_CONTEXT(q_);
   cxl::Link link_;
   KvCacheManager kv_;
   ArrivalProcess arrivals_;

@@ -1,0 +1,97 @@
+// Near-miss fixture: everything here walks right up to the queue-capture /
+// shard-coverage / cross-shard line without crossing it. The lint self-test
+// (scripts/lint.sh, tests/lint_test.cpp) requires this file to scan clean.
+// This file also feeds the ownership-map golden (ownership_map.{dot,json}).
+#define TECO_SHARD_AFFINE(cap)
+#define TECO_REQUIRES(cap)
+#define TECO_QUEUE_CONTEXT(q) static_assert(true, "queue-context marker")
+
+struct ShardCapability {
+  void assert_held() const {}
+};
+
+struct Queue {
+  template <class F>
+  void schedule_at(double when, F cb);
+};
+
+// Annotated, and the lambda re-establishes the token first — the
+// capability idiom the rules exist to enforce. Clean.
+class GoodEngine {
+ public:
+  void arm(Queue& q) {
+    q.schedule_at(1.0, [this] {
+      shard_.assert_held();
+      steps_ += 1;
+    });
+  }
+
+ private:
+  ShardCapability shard_;
+  long steps_ TECO_SHARD_AFFINE(shard_) = 0;
+};
+
+// By-value captures copy state onto the queue instead of sharing it; the
+// capture list is the whole story, so nothing to flag.
+class Snapshotter {
+ public:
+  void arm(Queue& q) {
+    q.schedule_at(2.0, [high = high_water_] { consume(high); });
+  }
+  static void consume(long v);
+
+ private:
+  long high_water_ = 0;
+};
+
+// The sanctioned crossing: both contexts reach the shared accumulator only
+// through the event-channel boundary class, which reachability does not
+// traverse. SharedTotal stays single-context. Clean.
+class SharedTotal {
+ public:
+  void add(long v) {
+    shard_.assert_held();
+    sum_ += v;
+  }
+
+ private:
+  ShardCapability shard_;
+  long sum_ TECO_SHARD_AFFINE(shard_) = 0;
+};
+
+class EventChannel {
+ public:
+  void post(long v);
+
+ private:
+  SharedTotal total_ TECO_SHARD_AFFINE(shard_);
+  ShardCapability shard_;
+};
+
+class LeftContext {
+ public:
+  void kick(long v) {
+    shard_.assert_held();
+    chan_.post(v);
+  }
+
+ private:
+  ShardCapability shard_;
+  Queue q_ TECO_SHARD_AFFINE(shard_);
+  TECO_QUEUE_CONTEXT(q_);
+  EventChannel chan_ TECO_SHARD_AFFINE(shard_);
+};
+
+class RightContext {
+ public:
+  void kick(long v) {
+    shard_.assert_held();
+    chan_.post(-v);
+  }
+
+ private:
+  ShardCapability shard_;
+  Queue q_ TECO_SHARD_AFFINE(shard_);
+  TECO_QUEUE_CONTEXT(q_);
+  EventChannel chan_ TECO_SHARD_AFFINE(shard_);
+};

@@ -1,0 +1,57 @@
+// Planted cross-shard violation for the lint self-test. The planted line
+// is pinned by tests/lint_test.cpp and scripts/lint.sh — append only,
+// never reflow.
+//
+// Two queue contexts own the same shard-affine class — under the sharded
+// engine its instances live on two different shards with nothing but the
+// class comment saying which, exactly the coupling the rule rejects.
+#define TECO_SHARD_AFFINE(cap)
+#define TECO_QUEUE_CONTEXT(q) static_assert(true, "queue-context marker")
+
+struct ShardCapability {
+  void assert_held() const {}
+};
+
+struct MiniQueue {
+  int pending_ = 0;  // unannotated, but never a violation: not affine
+};
+
+class SharedAccumulator {  // planted: line 19
+ public:
+  void add(long v) {
+    shard_.assert_held();
+    sum_ += v;
+  }
+
+ private:
+  ShardCapability shard_;
+  long sum_ TECO_SHARD_AFFINE(shard_) = 0;
+};
+
+class ProducerContext {
+ public:
+  void produce(long v) {
+    shard_.assert_held();
+    acc_.add(v);
+  }
+
+ private:
+  ShardCapability shard_;
+  MiniQueue q_ TECO_SHARD_AFFINE(shard_);
+  TECO_QUEUE_CONTEXT(q_);
+  SharedAccumulator acc_ TECO_SHARD_AFFINE(shard_);
+};
+
+class ConsumerContext {
+ public:
+  void consume(long v) {
+    shard_.assert_held();
+    acc_.add(-v);
+  }
+
+ private:
+  ShardCapability shard_;
+  MiniQueue q_ TECO_SHARD_AFFINE(shard_);
+  TECO_QUEUE_CONTEXT(q_);
+  SharedAccumulator acc_ TECO_SHARD_AFFINE(shard_);
+};

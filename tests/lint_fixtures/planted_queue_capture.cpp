@@ -1,0 +1,69 @@
+// Planted queue-capture violations for the lint self-test. The planted
+// lines are pinned by tests/lint_test.cpp and scripts/lint.sh — append
+// only, never reflow.
+//
+// A minimal stand-in for the event-queue surface: the rule triggers on the
+// schedule_at/schedule_after token, not on the real sim::EventQueue type.
+#define TECO_SHARD_AFFINE(cap)  // the linter reads tokens, not expansions
+
+struct Queue {
+  template <class F>
+  void schedule_at(double when, F cb);
+};
+
+struct ShardCapability {
+  void assert_held() const {}
+};
+
+// No shard annotation at all: capturing `this` leaks counter_ onto the
+// queue with nothing pinning which shard may touch it.
+class BareCounter {
+ public:
+  void arm(Queue& q) {
+    q.schedule_at(1.0, [this] { counter_ += 1; });  // planted: line 23
+  }
+
+ private:
+  long counter_ = 0;
+};
+
+// Annotated class, but neither the lambda body nor the enclosing method
+// establishes the token: the capability exists and nothing asserts it.
+class LazyHolder {
+ public:
+  void arm(Queue& q) {
+    q.schedule_at(2.0, [this] { held_ = true; });  // planted: line 35
+  }
+
+ private:
+  ShardCapability shard_;
+  bool held_ TECO_SHARD_AFFINE(shard_) = false;
+};
+
+// A reference capture smuggles someone else's unannotated state onto the
+// queue; the target resolves through the enclosing parameter list.
+class Ledger {
+ public:
+  void bump() { total_ += 1; }
+
+ private:
+  long total_ = 0;
+};
+
+class Poster {
+ public:
+  void arm(Queue& q, Ledger& led) {
+    q.schedule_at(3.0, [&led] { led.bump(); });  // planted: line 56
+  }
+};
+
+// Default captures are always rejected: they hide what escapes.
+class Fanout {
+ public:
+  void arm(Queue& q) {
+    q.schedule_at(4.0, [&] { ticks_ += 1; });  // planted: line 64
+  }
+
+ private:
+  long ticks_ = 0;
+};

@@ -1,0 +1,39 @@
+// Planted shard-coverage violations for the lint self-test. The planted
+// lines are pinned by tests/lint_test.cpp and scripts/lint.sh — append
+// only, never reflow.
+//
+// shard-coverage fires where queue-capture alone cannot: the class below
+// has no trailing-underscore fields (so the capture heuristic sees nothing
+// mutable to protect), yet a queue lambda still mutates it through a
+// non-const method.
+struct Queue {
+  template <class F>
+  void schedule_at(double when, F cb);
+};
+
+class Tally {
+ public:
+  void arm(Queue& q) {
+    q.schedule_at(1.0, [this] { bump(); });  // planted: line 17
+  }
+  void bump() { ++n; }
+  int value() const { return n; }
+
+ private:
+  int n = 0;  // no trailing underscore: invisible to the field heuristic
+};
+
+namespace sim {
+class CausalSink {};
+}  // namespace sim
+
+// A CausalSink implementation is mutated from inside queue dispatch by
+// construction (the queue calls on_schedule while it runs events), so it
+// must carry a shard annotation; this one does not.
+class DropSink : public sim::CausalSink {  // planted: line 33
+ public:
+  unsigned on_schedule(unsigned parent, unsigned char tag);
+
+ private:
+  unsigned long count_ = 0;
+};

@@ -180,7 +180,9 @@ TEST(MigrationScheduler, AllHbmHasNoTrafficOrStall) {
 
 TEST(MigrationScheduler, PrefetchLandsBeforeOrAtConsumeOrStallCharged) {
   const auto r = run_step(tier::Policy::kMinStall, 16 * kGiB);
+#ifndef TECO_OBS_DISABLED
   EXPECT_GT(r.sched.metric("tier.prefetches"), 0.0);
+#endif
   // Every prefetch/evict pair for one tensor must be ordered: the fetch
   // back to HBM starts no earlier than the eviction that parked it.
   for (const auto& t : r.sched.transfers) {
